@@ -1,0 +1,51 @@
+"""A2 -- ablation: disk speed vs. logging overhead.
+
+Sweeps the stable-storage write path from fast (modern-ish) to slow
+(early-90s) and measures ML's and CCL's failure-free overhead on MG.
+The paper attributes ML's 9-24% overhead to "its large log size and
+high disk access latency"; this sweep shows ML degrading with the disk
+while CCL's overlap keeps it nearly flat.
+"""
+
+import pytest
+
+from repro.config import DiskConfig
+from repro.harness import logging_comparison, render_sweep, sweep
+
+DISKS = [
+    ("fast", DiskConfig(write_latency_s=0.1e-3, bandwidth_bps=30e6)),
+    ("default", DiskConfig()),
+    ("slow", DiskConfig(write_latency_s=2e-3, bandwidth_bps=3e6)),
+]
+
+
+def test_disk_speed_ablation(benchmark, ultra5, save_artifact):
+    def body():
+        out = {}
+        for label, disk in DISKS:
+            cfg = ultra5.with_changes(disk=disk)
+            cmp = logging_comparison("mg", cfg, scale="test")
+            out[label] = {
+                "ml_overhead_pct": 100 * (cmp.normalized_time("ml") - 1),
+                "ccl_overhead_pct": 100 * (cmp.normalized_time("ccl") - 1),
+            }
+        return out
+
+    data = benchmark.pedantic(body, rounds=1, iterations=1)
+    points = sweep(
+        [(label, {}) for label, _d in DISKS],
+        lambda label, _p: data[label],
+    )
+    text = render_sweep("A2: disk speed vs logging overhead (MG)", points)
+    save_artifact("ablation_disk", text)
+    print("\n" + text)
+
+    for label, metrics in data.items():
+        benchmark.extra_info[f"{label}_ml_pct"] = round(metrics["ml_overhead_pct"], 2)
+        benchmark.extra_info[f"{label}_ccl_pct"] = round(
+            metrics["ccl_overhead_pct"], 2
+        )
+    # ML suffers more from a slower disk than CCL does
+    ml_spread = data["slow"]["ml_overhead_pct"] - data["fast"]["ml_overhead_pct"]
+    ccl_spread = data["slow"]["ccl_overhead_pct"] - data["fast"]["ccl_overhead_pct"]
+    assert ml_spread > ccl_spread

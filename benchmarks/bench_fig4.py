@@ -1,0 +1,34 @@
+"""E6 -- Figure 4: impacts of logging protocols on execution time.
+
+Runs all four applications under None/ML/CCL at bench scale and renders
+the normalised-execution-time bar chart.  Shape targets (paper): the
+CCL bars sit within 1-6% of 1.0; the ML bars at +9% to +24%.
+"""
+
+from repro.apps import PAPER_APPS
+from repro.harness import fig4_rows, logging_comparison, render_fig4
+
+
+def test_fig4_normalized_execution_time(benchmark, ultra5, save_artifact):
+    def body():
+        return [
+            logging_comparison(name, ultra5, scale="bench")
+            for name in PAPER_APPS
+        ]
+
+    comparisons = benchmark.pedantic(body, rounds=1, iterations=1)
+    text = render_fig4(comparisons)
+    save_artifact("fig4", text)
+    print("\n" + text)
+
+    for cmp in comparisons:
+        benchmark.extra_info[f"{cmp.app_name}_ml"] = round(
+            cmp.normalized_time("ml"), 4
+        )
+        benchmark.extra_info[f"{cmp.app_name}_ccl"] = round(
+            cmp.normalized_time("ccl"), 4
+        )
+        # orderings of the paper's Figure 4
+        assert 1.0 <= cmp.normalized_time("ccl") < cmp.normalized_time("ml")
+        # CCL's overhead stays in the single digits
+        assert cmp.normalized_time("ccl") < 1.10

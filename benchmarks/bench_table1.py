@@ -1,0 +1,26 @@
+"""E1 -- Table 1: application characteristics.
+
+Regenerates the paper's Table 1 (program, data-set size, and
+synchronisation type of the four evaluation applications) and times one
+verified no-logging run of each scaled-down application as the
+benchmark body.
+"""
+
+from repro.apps import PAPER_APPS
+from repro.harness import render_table1, run_application
+
+
+def test_table1_characteristics(benchmark, ultra5, save_artifact):
+    def body():
+        totals = {}
+        for name in PAPER_APPS:
+            result, _system = run_application(name, "none", ultra5, scale="test")
+            totals[name] = result.total_time
+        return totals
+
+    totals = benchmark.pedantic(body, rounds=1, iterations=1)
+    text = render_table1(PAPER_APPS)
+    save_artifact("table1", text)
+    for name, t in totals.items():
+        benchmark.extra_info[f"{name}_exec_s"] = round(t, 4)
+    print("\n" + text)

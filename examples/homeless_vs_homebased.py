@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Home-based vs homeless LRC: the paper's Section 1 trade-offs, live.
+
+Runs each evaluation workload under both coherence protocols and prints
+the quantities the paper's introduction argues about:
+
+* a home-based fault is one round trip to the home; a homeless fault
+  gathers diffs from every writer with relevant intervals;
+* home-based homes discard a diff as soon as it is applied; homeless
+  writers pin their diffs until a garbage-collection epoch that this
+  implementation (like the paper's argument) never needs to run for
+  home-based;
+* home reads/writes are free for the home node.
+
+Usage::
+
+    python examples/homeless_vs_homebased.py
+"""
+
+from repro import ClusterConfig, DsmSystem, make_app
+from repro.apps import PAPER_APPS
+from repro.harness import app_kwargs
+
+
+def run(name: str, coherence: str):
+    app = make_app(name, **app_kwargs(name, "test"))
+    system = DsmSystem(app, ClusterConfig.ultra5(num_nodes=8),
+                       coherence=coherence)
+    result = system.run()
+    assert app.verify(system), (name, coherence)
+    agg = result.aggregate
+    faults = max(int(agg.counters.get("page_faults", 0)), 1)
+    if coherence == "lrc":
+        rts = agg.counters.get("diff_fetch_round_trips", 0) / faults
+        repo = sum(n.diff_repo_bytes for n in system.nodes) / 1024
+    else:
+        rts, repo = 1.0, 0.0
+    return {
+        "exec_ms": 1e3 * result.total_time,
+        "faults": faults,
+        "rts_per_fault": rts,
+        "repo_kb": repo,
+        "net_mb": result.network_bytes / 1e6,
+    }
+
+
+def main() -> None:
+    print(f"{'workload':<10}{'protocol':<10}{'exec(ms)':>10}{'faults':>8}"
+          f"{'RTs/fault':>11}{'repo(KB)':>10}{'net(MB)':>9}")
+    print("-" * 58)
+    for name in PAPER_APPS:
+        for coherence in ("hlrc", "lrc"):
+            m = run(name, coherence)
+            print(f"{name:<10}{coherence:<10}{m['exec_ms']:>10.1f}"
+                  f"{m['faults']:>8d}{m['rts_per_fault']:>11.2f}"
+                  f"{m['repo_kb']:>10.1f}{m['net_mb']:>9.2f}")
+    print()
+    print("Homeless LRC pays one diff round trip per writer at every fault")
+    print("and retains every diff it ever created; home-based HLRC pays one")
+    print("round trip to the home and retains nothing -- the trade the")
+    print("paper's introduction lays out.")
+
+
+if __name__ == "__main__":
+    main()

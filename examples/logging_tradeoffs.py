@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Explore the design space: disk speed, page size, and home placement.
+
+Three miniature studies built from the library's sweep machinery:
+
+1. how ML's synchronous flush and CCL's overlapped flush react to the
+   stable-storage write path getting slower;
+2. how the coherence granularity (page size) moves traffic and the
+   CCL/ML log-size ratio;
+3. what writer-aligned home placement does to diff traffic (the lever
+   later HLRC systems pulled with first-touch allocation).
+
+Usage::
+
+    python examples/logging_tradeoffs.py
+"""
+
+from repro import ClusterConfig, make_app
+from repro.config import DiskConfig
+from repro.dsm import DsmSystem
+from repro.harness import (
+    app_kwargs,
+    logging_comparison,
+    render_sweep,
+    sweep,
+)
+
+
+def disk_speed_study(cluster: ClusterConfig) -> str:
+    disks = [
+        ("fast", DiskConfig(write_latency_s=0.1e-3, bandwidth_bps=30e6)),
+        ("default", DiskConfig()),
+        ("slow", DiskConfig(write_latency_s=2e-3, bandwidth_bps=3e6)),
+    ]
+
+    def measure(label, params):
+        cmp = logging_comparison("sor", params["cfg"], scale="test")
+        return {
+            "ml_overhead_pct": 100 * (cmp.normalized_time("ml") - 1),
+            "ccl_overhead_pct": 100 * (cmp.normalized_time("ccl") - 1),
+        }
+
+    points = sweep(
+        [(label, {"cfg": cluster.with_changes(disk=d)}) for label, d in disks],
+        measure,
+    )
+    return render_sweep("Disk speed vs failure-free overhead (SOR)", points)
+
+
+def page_size_study(cluster: ClusterConfig) -> str:
+    def measure(label, params):
+        cmp = logging_comparison(
+            "fft3d", cluster.with_changes(page_size=params["page"]), scale="test"
+        )
+        return {
+            "ccl_over_ml_log_pct": 100 * cmp.ccl_log_fraction,
+            "ml_log_mb": cmp.row("ml").total_log_mb,
+        }
+
+    points = sweep(
+        [(f"{p} B pages", {"page": p}) for p in (1024, 4096, 16384)], measure
+    )
+    return render_sweep("Page size vs log volume (3D-FFT)", points)
+
+
+def home_placement_study(cluster: ClusterConfig) -> str:
+    def measure(label, params):
+        app = make_app("sor", home_policy=params["policy"],
+                       **app_kwargs("sor", "test"))
+        result = DsmSystem(app, cluster).run()
+        agg = result.aggregate
+        return {
+            "exec_ms": 1e3 * result.total_time,
+            "diffs": float(agg.counters.get("diffs_created", 0)),
+            "faults": float(agg.counters.get("page_faults", 0)),
+        }
+
+    points = sweep(
+        [("round_robin", {"policy": "round_robin"}),
+         ("writer-aligned", {"policy": "aligned"})],
+        measure,
+    )
+    return render_sweep("Home placement vs protocol traffic (SOR)", points)
+
+
+def main() -> None:
+    cluster = ClusterConfig.ultra5(num_nodes=8)
+    for study in (disk_speed_study, page_size_study, home_placement_study):
+        print(study(cluster))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run an application on the recoverable home-based DSM.
+
+Runs the 3D-FFT workload on the paper's simulated 8-node Ultra-5
+cluster under all three logging protocols, verifies the numerics
+against ``numpy.fft``, and prints the paper-style Table 2 panel.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import ClusterConfig
+from repro.harness import logging_comparison, render_table2_panel
+
+
+def main() -> None:
+    cluster = ClusterConfig.ultra5(num_nodes=8)
+    print("Simulating 8 x Sun Ultra-5 on switched 100 Mbps Ethernet...")
+    print()
+
+    cmp = logging_comparison("fft3d", cluster, scale="test")
+    print(render_table2_panel(cmp))
+    print()
+
+    none_t = cmp.row("none").exec_time_s
+    for protocol in ("ml", "ccl"):
+        row = cmp.row(protocol)
+        overhead = 100.0 * (row.exec_time_s / none_t - 1.0)
+        print(
+            f"{protocol.upper():>3}: +{overhead:.1f}% failure-free overhead, "
+            f"{row.total_log_mb:.3f} MB logged in {row.num_flushes} flushes"
+        )
+    print()
+    print(
+        "CCL's flush overlaps the diff round trip that HLRC already "
+        "performs, so its\nlog reaches stable storage almost for free -- "
+        "the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

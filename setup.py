@@ -1,0 +1,22 @@
+"""Setup script.
+
+Metadata lives here (rather than only in ``pyproject.toml``) because the
+target environment ships setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs are unavailable; ``pip install -e .
+--no-build-isolation`` falls back to this legacy path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Coherence-centric logging and recovery for home-based software "
+        "DSM (ICPP 1999 reproduction)"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

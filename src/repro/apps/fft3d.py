@@ -1,0 +1,214 @@
+"""3D-FFT: the NAS FT kernel on the DSM (paper Table 1, row 1).
+
+Computes repeated 3-D Fast Fourier Transforms of an evolving complex
+field using the classic slab decomposition:
+
+1. each rank *evolves* its slab (pointwise phase multiply, local),
+2. transforms it along axes 1-2 (local 2-D FFTs),
+3. **transpose**: every rank gathers a column block from every other
+   rank's slab -- the all-to-all exchange that dominates FT's
+   communication, realised here as page faults on remote slabs,
+4. transforms the gathered block along axis 0 and stores it in the
+   transposed result array (a local home write),
+5. accumulates a checksum through per-rank partial slots.
+
+Synchronisation is barriers only, matching Table 1.  All arithmetic is
+real NumPy FFT work on the shared pages; the result is verified against
+``numpy.fft.fftn`` of a sequentially evolved field.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+import numpy as np
+
+from ..errors import ApplicationError
+from ..memory import SharedAddressSpace
+from .base import DsmApplication, block_rows, gather_global, owner_homes, register_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dsm.api import Dsm
+    from ..dsm.system import DsmSystem
+
+__all__ = ["Fft3dApp"]
+
+
+@register_app("fft3d")
+class Fft3dApp(DsmApplication):
+    """NAS-FT-style distributed 3D FFT."""
+
+    name = "3D-FFT"
+    synchronization = "barriers"
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        iters: Optional[int] = None,
+        paper_scale: bool = False,
+        seed: int = 20260706,
+        home_policy: str = "round_robin",
+    ):
+        if paper_scale:
+            self.n = n or 64
+            self.iters = iters or 100
+        else:
+            self.n = n or 16
+            self.iters = iters or 4
+        self.seed = seed
+        self.home_policy = home_policy
+        self.iterations = self.iters
+        self.data_set = f"{self.iters} iterations on {self.n}^3 data"
+        self._u0: Optional[np.ndarray] = None
+        self._phase: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _initial_field(self) -> np.ndarray:
+        if self._u0 is None:
+            rng = np.random.RandomState(self.seed)
+            n = self.n
+            self._u0 = (
+                rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+            ).astype(np.complex128)
+        return self._u0
+
+    def _phase_factors(self) -> np.ndarray:
+        """Per-element evolution factors (the NAS FT exponential term)."""
+        if self._phase is None:
+            n = self.n
+            k = np.fft.fftfreq(n) * n
+            k2 = (
+                k[:, None, None] ** 2 + k[None, :, None] ** 2 + k[None, None, :] ** 2
+            )
+            self._phase = np.exp(-1e-4 * k2 + 0.05j * k2).astype(np.complex128)
+        return self._phase
+
+    # ------------------------------------------------------------------
+    def allocate(self, space: SharedAddressSpace, nprocs: int) -> None:
+        n = self.n
+        if n % nprocs:
+            raise ApplicationError(f"grid {n} not divisible by {nprocs} ranks")
+        zeros = np.zeros((n, n, n), dtype=np.complex128)
+        # Only communicated data lives in shared memory, as in the real
+        # benchmark: the evolving field and the transformed result are
+        # rank-private working arrays; `w` is the all-to-all transpose
+        # buffer, and `vt` receives the final result for verification.
+        space.allocate("w", (n, n, n), np.complex128, init=zeros)
+        space.allocate("vt", (n, n, n), np.complex128, init=zeros)
+        space.allocate(
+            "csum_partial", (nprocs, 2), np.float64,
+            init=np.zeros((nprocs, 2)),
+        )
+        space.allocate(
+            "csum", (max(self.iters, 1), 2), np.float64,
+            init=np.zeros((max(self.iters, 1), 2)),
+        )
+
+    def homes(self, space: SharedAddressSpace, nprocs: int) -> Optional[List[int]]:
+        if self.home_policy != "aligned":
+            return None  # round-robin: the TreadMarks/HLRC default
+
+        n = self.n
+        row_bytes = n * n * 16  # one axis-0 plane of a complex cube
+
+        def plane_owner_pages(var_name: str) -> List[int]:
+            var = space.var(var_name)
+            pages = list(space.pages_of(var))
+            page_size = space.page_size
+            out = []
+            for p in pages:
+                off = max(p * page_size, var.offset) - var.offset
+                plane = min(off // row_bytes, n - 1)
+                per = n // nprocs
+                out.append(min(plane // per, nprocs - 1))
+            return out
+
+        return owner_homes(
+            space,
+            nprocs,
+            {
+                "w": plane_owner_pages("w"),
+                "vt": plane_owner_pages("vt"),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def program(self, dsm: "Dsm") -> Generator[Any, Any, None]:
+        n, p, rank = self.n, dsm.nprocs, dsm.rank
+        lo, hi = block_rows(n, p, rank)  # owned axis-0 planes of u/w
+        n0 = hi - lo
+        # vt is stored transposed: rank owns planes [lo, hi) of axis-0
+        # which correspond to columns [lo, hi) of the original axis 1
+        d0, d1 = lo, hi
+        n1 = d1 - d0
+        phase = self._phase_factors()[lo:hi]
+
+        # rank-private working arrays (outside the shared segment)
+        u_slab = self._initial_field()[lo:hi].copy()
+        w = dsm.arr("w")
+
+        fft2_flops = 5.0 * n0 * n * n * np.log2(max(n * n, 2))
+        fft1_flops = 5.0 * n1 * n * n * np.log2(max(n, 2))
+        evolve_flops = 6.0 * n0 * n * n
+
+        vt_block = np.empty((n1, n, n), dtype=np.complex128)
+        for it in range(self.iters):
+            # 1-2: evolve own slab and FFT it along axes 1,2 (private)
+            u_slab *= phase
+            yield from dsm.compute(evolve_flops)
+            yield from dsm.write("w", lo * n * n, hi * n * n)
+            w[lo:hi] = np.fft.fft2(u_slab, axes=(1, 2))
+            yield from dsm.compute(fft2_flops)
+            yield from dsm.barrier()
+
+            # 3: transpose-gather the column block [d0, d1) of axis 1
+            block = np.empty((n, n1, n), dtype=np.complex128)
+            for s in range(p):
+                s_lo, s_hi = block_rows(n, p, s)
+                for i in range(s_lo, s_hi):
+                    start = i * n * n + d0 * n
+                    yield from dsm.read("w", start, start + n1 * n)
+                block[s_lo:s_hi] = w[s_lo:s_hi, d0:d1, :]
+
+            # 4: FFT along original axis 0 into the private result block
+            out = np.fft.fft(block, axis=0)  # shape (n, n1, n)
+            vt_block[:] = out.transpose(1, 0, 2)
+            yield from dsm.compute(fft1_flops)
+
+            # 5: checksum partials (all ranks share one small page)
+            part = vt_block.sum()
+            yield from dsm.write("csum_partial", rank * 2, rank * 2 + 2)
+            dsm.arr("csum_partial")[rank, 0] = part.real
+            dsm.arr("csum_partial")[rank, 1] = part.imag
+            yield from dsm.barrier()
+
+            if rank == 0:
+                yield from dsm.read("csum_partial")
+                yield from dsm.write("csum", it * 2, it * 2 + 2)
+                dsm.arr("csum")[it] = dsm.arr("csum_partial").sum(axis=0)
+
+        # publish the final transformed slab for verification
+        yield from dsm.write("vt", d0 * n * n, d1 * n * n)
+        dsm.arr("vt")[d0:d1] = vt_block
+        yield from dsm.barrier()
+
+    # ------------------------------------------------------------------
+    def verify(self, system: "DsmSystem") -> bool:
+        """Compare against a sequentially evolved + transformed field."""
+        u = self._initial_field().copy()
+        phase = self._phase_factors()
+        ref_csums = []
+        for _ in range(self.iters):
+            u *= phase
+            full = np.fft.fftn(u, axes=(0, 1, 2))
+            ref_csums.append(full.sum())
+        ref_vt = full.transpose(1, 0, 2)
+
+        got_vt = gather_global(system, "vt")
+        got_csum = gather_global(system, "csum")
+        if not np.allclose(got_vt, ref_vt, rtol=1e-9, atol=1e-9):
+            return False
+        for it, c in enumerate(ref_csums):
+            if not np.allclose(got_csum[it], [c.real, c.imag], rtol=1e-7):
+                return False
+        return True

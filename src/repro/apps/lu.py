@@ -1,0 +1,200 @@
+"""LU: blocked dense LU factorisation (extra workload, SPLASH-2 style).
+
+Right-looking blocked LU without pivoting on a diagonally dominant
+matrix, with SPLASH-2 LU's 2-D scatter block ownership.  Each step
+factorises the diagonal block, updates the perimeter blocks (everyone
+reads the diagonal block -- a broadcast-shaped fault pattern), then the
+trailing submatrix (each interior block reads one column and one row
+perimeter block).  The matrix is stored block-major so each block is a
+contiguous page run.
+
+Not one of the paper's four applications; included as a second
+lock-free workload with communication that *narrows* over time (later
+steps touch fewer blocks), a contrast to the uniform per-iteration
+traffic of the others.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ApplicationError
+from ..memory import SharedAddressSpace
+from .base import DsmApplication, gather_global, owner_homes, register_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dsm.api import Dsm
+    from ..dsm.system import DsmSystem
+
+__all__ = ["LuApp", "lu_nopiv_inplace", "sequential_blocked_lu"]
+
+
+def lu_nopiv_inplace(a: np.ndarray) -> np.ndarray:
+    """Unpivoted LU of a square block, in place (unit-diagonal L + U)."""
+    n = a.shape[0]
+    for i in range(n - 1):
+        a[i + 1 :, i] /= a[i, i]
+        a[i + 1 :, i + 1 :] -= np.outer(a[i + 1 :, i], a[i, i + 1 :])
+    return a
+
+
+def _solve_lower_unit(lkk: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """X such that L_kk X = b with L unit-lower-triangular."""
+    n = lkk.shape[0]
+    x = b.copy()
+    for i in range(1, n):
+        x[i] -= lkk[i, :i] @ x[:i]
+    return x
+
+
+def _solve_upper_right(ukk: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """X such that X U_kk = b with U upper-triangular."""
+    n = ukk.shape[0]
+    x = b.copy()
+    for j in range(n):
+        x[:, j] -= x[:, :j] @ ukk[:j, j]
+        x[:, j] /= ukk[j, j]
+    return x
+
+
+def block_owner(bi: int, bj: int, nb: int, nprocs: int) -> int:
+    """SPLASH-2 LU's 2-D scatter decomposition."""
+    return (bi * nb + bj) % nprocs
+
+
+def initial_matrix(n: int, seed: int) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    a = rng.standard_normal((n, n))
+    a += n * np.eye(n)  # diagonal dominance: no pivoting needed
+    return a
+
+
+def sequential_blocked_lu(n: int, b: int, seed: int) -> np.ndarray:
+    """Reference: the identical blocked algorithm on a plain array."""
+    nb = n // b
+    blocks = initial_matrix(n, seed).reshape(nb, b, nb, b).swapaxes(1, 2).copy()
+    for k in range(nb):
+        lu_nopiv_inplace(blocks[k, k])
+        for i in range(k + 1, nb):
+            blocks[i, k] = _solve_upper_right(blocks[k, k], blocks[i, k])
+        for j in range(k + 1, nb):
+            blocks[k, j] = _solve_lower_unit(blocks[k, k], blocks[k, j])
+        for i in range(k + 1, nb):
+            for j in range(k + 1, nb):
+                blocks[i, j] -= blocks[i, k] @ blocks[k, j]
+    return blocks
+
+
+@register_app("lu")
+class LuApp(DsmApplication):
+    """SPLASH-2-style blocked LU factorisation."""
+
+    name = "LU"
+    synchronization = "barriers"
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        block: int = 8,
+        paper_scale: bool = False,
+        seed: int = 31337,
+        home_policy: str = "round_robin",
+    ):
+        self.n = n or (128 if paper_scale else 32)
+        self.block = block
+        self.home_policy = home_policy
+        self.seed = seed
+        if self.n % self.block:
+            raise ApplicationError(f"matrix {self.n} not divisible by {self.block}")
+        self.nb = self.n // self.block
+        self.iterations = self.nb
+        self.data_set = f"{self.n}x{self.n} matrix, {self.block}x{self.block} blocks"
+
+    # ------------------------------------------------------------------
+    def allocate(self, space: SharedAddressSpace, nprocs: int) -> None:
+        nb, b = self.nb, self.block
+        init = (
+            initial_matrix(self.n, self.seed)
+            .reshape(nb, b, nb, b)
+            .swapaxes(1, 2)
+            .copy()
+        )
+        space.allocate("A", (nb, nb, b, b), np.float64, init=init)
+
+    def homes(self, space: SharedAddressSpace, nprocs: int) -> Optional[List[int]]:
+        if self.home_policy != "aligned":
+            return None  # round-robin: the TreadMarks/HLRC default
+        var = space.var("A")
+        nb, b = self.nb, self.block
+        block_bytes = b * b * 8
+        page_owner = []
+        for p in space.pages_of(var):
+            off = max(p * space.page_size, var.offset) - var.offset
+            flat = min(off // block_bytes, nb * nb - 1)
+            page_owner.append(block_owner(flat // nb, flat % nb, nb, nprocs))
+        return owner_homes(space, nprocs, {"A": page_owner})
+
+    # ------------------------------------------------------------------
+    def program(self, dsm: "Dsm") -> Generator[Any, Any, None]:
+        nb, b, p, rank = self.nb, self.block, dsm.nprocs, dsm.rank
+        A = dsm.arr("A")
+        bsz = b * b
+
+        def elems(bi: int, bj: int) -> Tuple[int, int]:
+            flat = (bi * nb + bj) * bsz
+            return flat, flat + bsz
+
+        def mine(bi: int, bj: int) -> bool:
+            return block_owner(bi, bj, nb, p) == rank
+
+        for k in range(nb):
+            if mine(k, k):
+                yield from dsm.write("A", *elems(k, k))
+                lu_nopiv_inplace(A[k, k])
+                yield from dsm.compute((2.0 / 3.0) * b**3)
+            yield from dsm.barrier()
+
+            # perimeter: everyone needing it faults on the diagonal block
+            col = [i for i in range(k + 1, nb) if mine(i, k)]
+            row = [j for j in range(k + 1, nb) if mine(k, j)]
+            if col or row:
+                yield from dsm.read("A", *elems(k, k))
+            for i in col:
+                yield from dsm.write("A", *elems(i, k))
+                A[i, k] = _solve_upper_right(A[k, k], A[i, k])
+                yield from dsm.compute(float(b**3))
+            for j in row:
+                yield from dsm.write("A", *elems(k, j))
+                A[k, j] = _solve_lower_unit(A[k, k], A[k, j])
+                yield from dsm.compute(float(b**3))
+            yield from dsm.barrier()
+
+            # trailing submatrix: read one column and one row block each
+            for i in range(k + 1, nb):
+                for j in range(k + 1, nb):
+                    if not mine(i, j):
+                        continue
+                    yield from dsm.read("A", *elems(i, k))
+                    yield from dsm.read("A", *elems(k, j))
+                    yield from dsm.write("A", *elems(i, j))
+                    A[i, j] -= A[i, k] @ A[k, j]
+                    yield from dsm.compute(2.0 * b**3)
+            yield from dsm.barrier()
+
+    # ------------------------------------------------------------------
+    def verify(self, system: "DsmSystem") -> bool:
+        ref = sequential_blocked_lu(self.n, self.block, self.seed)
+        got = gather_global(system, "A")
+        if not np.allclose(got, ref, rtol=1e-9, atol=1e-9):
+            return False
+        # reassemble L and U and check L @ U == original matrix
+        nb, b = self.nb, self.block
+        flat = got.swapaxes(1, 2).reshape(self.n, self.n)
+        lower = np.tril(flat, -1) + np.eye(self.n)
+        upper = np.triu(flat)
+        return bool(
+            np.allclose(lower @ upper, initial_matrix(self.n, self.seed),
+                        rtol=1e-8, atol=1e-8)
+        )

@@ -1,0 +1,365 @@
+"""MG: multigrid Poisson solver on the DSM (paper Table 1, row 2).
+
+Solves the 3-D Poisson problem with V-cycles, mirroring the NAS MG
+kernel's structure: damped-Jacobi smoothing with halo-plane exchange,
+residual computation, restriction to a coarser grid, a coarse-grid
+solve, prolongation, and post-smoothing.  The grid hierarchy is
+plane-block distributed; halo reads at partition boundaries generate the
+nearest-neighbour fault traffic characteristic of MG, and restriction/
+prolongation add the cross-level communication.
+
+Synchronisation is barriers only (Table 1).  The parallel arithmetic is
+elementwise identical to the sequential reference, so verification
+demands near-bitwise agreement plus a monotonically falling residual.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory import SharedAddressSpace
+from .base import DsmApplication, block_rows, gather_global, owner_homes, register_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dsm.api import Dsm
+    from ..dsm.system import DsmSystem
+
+__all__ = ["MgApp", "jacobi_plane", "residual_plane", "restrict_grid", "prolong_grid"]
+
+OMEGA = 0.8  # damped-Jacobi weight
+
+
+# ----------------------------------------------------------------------
+# grid kernels shared by the SPMD program and the sequential reference
+# ----------------------------------------------------------------------
+def jacobi_plane(u: np.ndarray, b: np.ndarray, i: int) -> np.ndarray:
+    """One damped-Jacobi update of interior plane ``i`` (reads u[i-1:i+2])."""
+    lap = (
+        6.0 * u[i, 1:-1, 1:-1]
+        - u[i - 1, 1:-1, 1:-1]
+        - u[i + 1, 1:-1, 1:-1]
+        - u[i, :-2, 1:-1]
+        - u[i, 2:, 1:-1]
+        - u[i, 1:-1, :-2]
+        - u[i, 1:-1, 2:]
+    )
+    out = u[i].copy()
+    out[1:-1, 1:-1] = u[i, 1:-1, 1:-1] + OMEGA * (b[i, 1:-1, 1:-1] - lap) / 6.0
+    return out
+
+
+def residual_plane(u: np.ndarray, b: np.ndarray, i: int) -> np.ndarray:
+    """Residual ``b - A u`` on interior plane ``i``."""
+    lap = (
+        6.0 * u[i, 1:-1, 1:-1]
+        - u[i - 1, 1:-1, 1:-1]
+        - u[i + 1, 1:-1, 1:-1]
+        - u[i, :-2, 1:-1]
+        - u[i, 2:, 1:-1]
+        - u[i, 1:-1, :-2]
+        - u[i, 1:-1, 2:]
+    )
+    out = np.zeros_like(u[i])
+    out[1:-1, 1:-1] = b[i, 1:-1, 1:-1] - lap
+    return out
+
+
+def restrict_grid(res: np.ndarray, ic: int) -> np.ndarray:
+    """Injection restriction of coarse plane ``ic`` (reads fine plane 2ic)."""
+    return res[2 * ic, ::2, ::2].copy()
+
+
+def prolong_grid(uc: np.ndarray, i: int, n: int) -> np.ndarray:
+    """Trilinear prolongation of fine plane ``i`` from the coarse grid."""
+    nc = uc.shape[0]
+    fine = np.zeros((n, n), dtype=uc.dtype)
+
+    def plane(j: int) -> np.ndarray:
+        p = np.zeros((n, n), dtype=uc.dtype)
+        c = uc[j]
+        p[::2, ::2] = c
+        p[1:-1:2, ::2] = 0.5 * (c[:-1, :] + c[1:, :])
+        p[::2, 1:-1:2] = 0.5 * (c[:, :-1] + c[:, 1:])
+        p[1:-1:2, 1:-1:2] = 0.25 * (
+            c[:-1, :-1] + c[1:, :-1] + c[:-1, 1:] + c[1:, 1:]
+        )
+        return p
+
+    if i % 2 == 0:
+        fine = plane(i // 2)
+    else:
+        j = i // 2
+        if j + 1 < nc:
+            fine = 0.5 * (plane(j) + plane(j + 1))
+        else:
+            fine = 0.5 * plane(j)
+    return fine
+
+
+def sequential_vcycles(
+    n: int, cycles: int, pre: int, post: int, coarse_sweeps: int, rhs: np.ndarray
+) -> Tuple[np.ndarray, List[float]]:
+    """Reference solver: identical arithmetic on plain arrays."""
+    levels = _level_sizes(n)
+    u = {0: np.zeros((n, n, n))}
+    b = {0: rhs.copy()}
+    for l, nl in enumerate(levels[1:], start=1):
+        u[l] = np.zeros((nl, nl, nl))
+        b[l] = np.zeros((nl, nl, nl))
+
+    def smooth(l: int, sweeps: int) -> None:
+        nl = levels[l]
+        for _ in range(sweeps):
+            t = u[l].copy()
+            for i in range(1, nl - 1):
+                t[i] = jacobi_plane(u[l], b[l], i)
+            u[l] = t
+
+    def vcycle(l: int) -> None:
+        nl = levels[l]
+        if l == len(levels) - 1:
+            smooth(l, coarse_sweeps)
+            return
+        smooth(l, pre)
+        res = np.zeros_like(u[l])
+        for i in range(1, nl - 1):
+            res[i] = residual_plane(u[l], b[l], i)
+        nc = levels[l + 1]
+        u[l + 1][:] = 0.0
+        for ic in range(1, nc - 1):
+            b[l + 1][ic] = restrict_grid(res, ic)
+        vcycle(l + 1)
+        for i in range(1, nl - 1):
+            u[l][i] += prolong_grid(u[l + 1], i, nl)
+        smooth(l, post)
+
+    norms = []
+    for _ in range(cycles):
+        vcycle(0)
+        res = np.zeros_like(u[0])
+        for i in range(1, n - 1):
+            res[i] = residual_plane(u[0], b[0], i)
+        norms.append(float(np.sqrt((res**2).sum())))
+    return u[0], norms
+
+
+def _level_sizes(n: int) -> List[int]:
+    sizes = [n]
+    while sizes[-1] > 4 and sizes[-1] % 2 == 0:
+        sizes.append(sizes[-1] // 2)
+    return sizes
+
+
+# ----------------------------------------------------------------------
+@register_app("mg")
+class MgApp(DsmApplication):
+    """NAS-MG-style multigrid Poisson solver."""
+
+    name = "MG"
+    synchronization = "barriers"
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        cycles: Optional[int] = None,
+        paper_scale: bool = False,
+        pre: int = 2,
+        post: int = 2,
+        coarse_sweeps: int = 8,
+        seed: int = 424242,
+        home_policy: str = "round_robin",
+    ):
+        if paper_scale:
+            self.n = n or 32
+            self.cycles = cycles or 200
+        else:
+            self.n = n or 16
+            self.cycles = cycles or 3
+        self.pre, self.post, self.coarse_sweeps = pre, post, coarse_sweeps
+        self.home_policy = home_policy
+        self.seed = seed
+        self.iterations = self.cycles
+        self.data_set = f"{self.cycles} iterations on {self.n}^3 grid"
+        self.levels = _level_sizes(self.n)
+        self._rhs: Optional[np.ndarray] = None
+
+    def _rhs_field(self) -> np.ndarray:
+        if self._rhs is None:
+            rng = np.random.RandomState(self.seed)
+            f = np.zeros((self.n, self.n, self.n))
+            f[1:-1, 1:-1, 1:-1] = rng.standard_normal((self.n - 2,) * 3)
+            self._rhs = f
+        return self._rhs
+
+    # ------------------------------------------------------------------
+    def allocate(self, space: SharedAddressSpace, nprocs: int) -> None:
+        for l, nl in enumerate(self.levels):
+            zeros = np.zeros((nl, nl, nl))
+            init_b = self._rhs_field() if l == 0 else zeros
+            space.allocate(f"u{l}", (nl, nl, nl), np.float64, init=zeros)
+            space.allocate(f"t{l}", (nl, nl, nl), np.float64, init=zeros)
+            space.allocate(f"b{l}", (nl, nl, nl), np.float64, init=init_b)
+            space.allocate(f"res{l}", (nl, nl, nl), np.float64, init=zeros)
+        space.allocate("norm_partial", (nprocs,), np.float64,
+                       init=np.zeros(nprocs))
+        space.allocate("norms", (max(self.cycles, 1),), np.float64,
+                       init=np.zeros(max(self.cycles, 1)))
+
+    def homes(self, space: SharedAddressSpace, nprocs: int) -> Optional[List[int]]:
+        if self.home_policy != "aligned":
+            return None  # round-robin: the TreadMarks/HLRC default
+
+        owners: Dict[str, List[int]] = {}
+        for l, nl in enumerate(self.levels):
+            plane_bytes = nl * nl * 8
+            for prefix in ("u", "t", "b", "res"):
+                var = space.var(f"{prefix}{l}")
+                pages = list(space.pages_of(var))
+                per = -(-nl // nprocs)
+                page_owner = []
+                for p in pages:
+                    off = max(p * space.page_size, var.offset) - var.offset
+                    plane = min(off // plane_bytes, nl - 1)
+                    page_owner.append(min(plane // per, nprocs - 1))
+                owners[var.name] = page_owner
+        return owner_homes(space, nprocs, owners)
+
+    # ------------------------------------------------------------------
+    def program(self, dsm: "Dsm") -> Generator[Any, Any, None]:
+        rank, p = dsm.rank, dsm.nprocs
+        levels = self.levels
+
+        def planes(l: int) -> Tuple[int, int]:
+            return block_rows(levels[l], p, rank)
+
+        def elems(l: int, a: int, b_: int) -> Tuple[int, int]:
+            nl = levels[l]
+            return a * nl * nl, b_ * nl * nl
+
+        def interior(l: int) -> range:
+            lo, hi = planes(l)
+            nl = levels[l]
+            return range(max(lo, 1), min(hi, nl - 1))
+
+        def read_halo(l: int, name: str) -> Generator[Any, Any, None]:
+            """Own planes plus one neighbour plane on each side."""
+            lo, hi = planes(l)
+            nl = levels[l]
+            a, b_ = max(lo - 1, 0), min(hi + 1, nl)
+            if a < b_:
+                yield from dsm.read(name, *elems(l, a, b_))
+
+        def smooth(l: int, sweeps: int) -> Generator[Any, Any, None]:
+            nl = levels[l]
+            u = dsm.arr(f"u{l}")
+            t = dsm.arr(f"t{l}")
+            b_ = dsm.arr(f"b{l}")
+            lo, hi = planes(l)
+            for _ in range(sweeps):
+                if hi > lo:
+                    yield from read_halo(l, f"u{l}")
+                    yield from dsm.read(f"b{l}", *elems(l, lo, hi))
+                    yield from dsm.write(f"t{l}", *elems(l, lo, hi))
+                    t[lo:hi] = u[lo:hi]
+                    for i in interior(l):
+                        t[i] = jacobi_plane(u, b_, i)
+                    yield from dsm.compute(9.0 * (hi - lo) * nl * nl)
+                yield from dsm.barrier()
+                if hi > lo:
+                    yield from dsm.write(f"u{l}", *elems(l, lo, hi))
+                    u[lo:hi] = t[lo:hi]
+                yield from dsm.barrier()
+
+        def vcycle(l: int) -> Generator[Any, Any, None]:
+            nl = levels[l]
+            if l == len(levels) - 1:
+                yield from smooth(l, self.coarse_sweeps)
+                return
+            yield from smooth(l, self.pre)
+            # residual on own planes
+            lo, hi = planes(l)
+            if hi > lo:
+                yield from read_halo(l, f"u{l}")
+                yield from dsm.read(f"b{l}", *elems(l, lo, hi))
+                yield from dsm.write(f"res{l}", *elems(l, lo, hi))
+                res = dsm.arr(f"res{l}")
+                res[lo:hi] = 0.0
+                u = dsm.arr(f"u{l}")
+                b_ = dsm.arr(f"b{l}")
+                for i in interior(l):
+                    res[i] = residual_plane(u, b_, i)
+                yield from dsm.compute(8.0 * (hi - lo) * nl * nl)
+            yield from dsm.barrier()
+            # restriction: coarse owners pull the fine planes they need
+            nc = levels[l + 1]
+            clo, chi = planes(l + 1)
+            if chi > clo:
+                yield from dsm.write(f"u{l + 1}", *elems(l + 1, clo, chi))
+                dsm.arr(f"u{l + 1}")[clo:chi] = 0.0
+                yield from dsm.write(f"b{l + 1}", *elems(l + 1, clo, chi))
+                bc = dsm.arr(f"b{l + 1}")
+                res = dsm.arr(f"res{l}")
+                for ic in range(clo, chi):
+                    if 1 <= ic < nc - 1:
+                        yield from dsm.read(f"res{l}", *elems(l, 2 * ic, 2 * ic + 1))
+                        bc[ic] = restrict_grid(res, ic)
+                    else:
+                        bc[ic] = 0.0
+                yield from dsm.compute(1.0 * (chi - clo) * nc * nc)
+            yield from dsm.barrier()
+            yield from vcycle(l + 1)
+            # prolongation: fine owners pull the coarse planes they need
+            if hi > lo:
+                a = max((max(lo, 1)) // 2, 0)
+                b2 = min((min(hi, nl - 1) - 1) // 2 + 2, nc)
+                if a < b2:
+                    yield from dsm.read(f"u{l + 1}", *elems(l + 1, a, b2))
+                yield from dsm.write(f"u{l}", *elems(l, lo, hi))
+                u = dsm.arr(f"u{l}")
+                uc = dsm.arr(f"u{l + 1}")
+                for i in interior(l):
+                    u[i] += prolong_grid(uc, i, nl)
+                yield from dsm.compute(3.0 * (hi - lo) * nl * nl)
+            yield from dsm.barrier()
+            yield from smooth(l, self.post)
+
+        n = levels[0]
+        for cyc in range(self.cycles):
+            yield from vcycle(0)
+            # residual norm: partials -> barrier -> rank 0 reduces
+            lo, hi = planes(0)
+            part = 0.0
+            if hi > lo:
+                yield from read_halo(0, "u0")
+                yield from dsm.read("b0", *elems(0, lo, hi))
+                u = dsm.arr("u0")
+                b_ = dsm.arr("b0")
+                for i in interior(0):
+                    part += float((residual_plane(u, b_, i) ** 2).sum())
+                yield from dsm.compute(8.0 * (hi - lo) * n * n)
+            yield from dsm.write("norm_partial", rank, rank + 1)
+            dsm.arr("norm_partial")[rank] = part
+            yield from dsm.barrier()
+            if rank == 0:
+                yield from dsm.read("norm_partial")
+                yield from dsm.write("norms", cyc, cyc + 1)
+                dsm.arr("norms")[cyc] = np.sqrt(dsm.arr("norm_partial").sum())
+        # closing barrier: flush the last cycle's writes to their homes
+        yield from dsm.barrier()
+
+    # ------------------------------------------------------------------
+    def verify(self, system: "DsmSystem") -> bool:
+        ref_u, ref_norms = sequential_vcycles(
+            self.n, self.cycles, self.pre, self.post, self.coarse_sweeps,
+            self._rhs_field(),
+        )
+        got_u = gather_global(system, "u0")
+        got_norms = gather_global(system, "norms")[: self.cycles]
+        if not np.allclose(got_u, ref_u, rtol=1e-10, atol=1e-12):
+            return False
+        if not np.allclose(got_norms, ref_norms, rtol=1e-8):
+            return False
+        # the solver must actually be converging
+        return bool(ref_norms[-1] < ref_norms[0])

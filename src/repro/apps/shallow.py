@@ -1,0 +1,313 @@
+"""Shallow: the NCAR shallow-water weather kernel (paper Table 1, row 3).
+
+The classic ``swm`` benchmark integrates the shallow-water equations on
+a 2-D periodic staggered grid with a leapfrog scheme and Robert-Asselin
+time smoothing.  Each timestep has three phases separated by barriers,
+exactly the structure of the original:
+
+1. compute the mass fluxes ``cu``/``cv``, potential vorticity ``z`` and
+   height field ``h`` from ``p``/``u``/``v`` (one-sided periodic
+   neighbour reads -> halo-row faults),
+2. advance ``unew``/``vnew``/``pnew`` from the old time level using the
+   phase-1 fields (neighbour reads on the other side),
+3. time-smooth and rotate the time levels (purely local).
+
+Rows are block-distributed; the periodic wrap makes ranks 0 and P-1
+neighbours, so every rank has two halo partners.  Verification requires
+elementwise agreement with a sequential execution of the identical
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory import SharedAddressSpace
+from .base import DsmApplication, block_rows, gather_global, owner_homes, register_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dsm.api import Dsm
+    from ..dsm.system import DsmSystem
+
+__all__ = ["ShallowApp", "flux_rows", "advance_rows", "smooth_rows"]
+
+# physical setup of the original swm benchmark (scaled)
+DT = 90.0
+DX = DY = 1.0e5
+ALPHA = 0.001
+FSDX = 4.0 / DX
+FSDY = 4.0 / DY
+
+
+def flux_rows(
+    p: np.ndarray, u: np.ndarray, v: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Phase 1 on the given global rows (Sadourny scheme, reads rows±1).
+
+    The exact discretisation of the original NCAR ``swm`` code on the
+    doubly periodic staggered grid::
+
+        cu[a,b] = .5 (p[a,b] + p[a-1,b]) u[a,b]
+        cv[a,b] = .5 (p[a,b] + p[a,b-1]) v[a,b]
+        z[a,b]  = (fsdx (v[a,b]-v[a-1,b]) - fsdy (u[a,b]-u[a,b-1]))
+                  / (p[a-1,b-1] + p[a,b-1] + p[a,b] + p[a-1,b])
+        h[a,b]  = p[a,b] + .25 (u[a+1,b]^2 + u[a,b]^2
+                                + v[a,b+1]^2 + v[a,b]^2)
+
+    (This potential-enstrophy-conserving form is what keeps the
+    leapfrog integration stable over the paper's 5000 steps.)
+    """
+    n = p.shape[0]
+    im = (rows - 1) % n
+    ip = (rows + 1) % n
+    jm = np.roll(np.arange(n), 1)
+    jp = np.roll(np.arange(n), -1)
+    cu = 0.5 * (p[rows] + p[im]) * u[rows]
+    cv = 0.5 * (p[rows] + p[rows][:, jm]) * v[rows]
+    z = (
+        FSDX * (v[rows] - v[im]) - FSDY * (u[rows] - u[rows][:, jm])
+    ) / (p[im][:, jm] + p[rows][:, jm] + p[rows] + p[im])
+    h = p[rows] + 0.25 * (
+        u[ip] ** 2 + u[rows] ** 2 + v[rows][:, jp] ** 2 + v[rows] ** 2
+    )
+    return cu, cv, z, h
+
+
+def advance_rows(
+    fields: Dict[str, np.ndarray], rows: np.ndarray, tdt: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Phase 2 (leapfrog step) on the given rows (reads rows±1)."""
+    n = fields["p"].shape[0]
+    im = (rows - 1) % n
+    jm = np.roll(np.arange(n), 1)
+    cu, cv, z, h = fields["cu"], fields["cv"], fields["z"], fields["h"]
+    uold, vold, pold = fields["uold"], fields["vold"], fields["pold"]
+    tdts8 = tdt / 8.0
+    tdtsdx = tdt / DX
+    tdtsdy = tdt / DY
+    ip = (rows + 1) % n
+    jp = np.roll(np.arange(n), -1)
+    unew = (
+        uold[rows]
+        + tdts8 * (z[rows][:, jp] + z[rows])
+        * (cv[rows][:, jp] + cv[im][:, jp] + cv[im] + cv[rows])
+        - tdtsdx * (h[rows] - h[im])
+    )
+    vnew = (
+        vold[rows]
+        - tdts8 * (z[ip] + z[rows])
+        * (cu[ip] + cu[rows] + cu[rows][:, jm] + cu[ip][:, jm])
+        - tdtsdy * (h[rows] - h[rows][:, jm])
+    )
+    pnew = (
+        pold[rows]
+        - tdtsdx * (cu[ip] - cu[rows])
+        - tdtsdy * (cv[rows][:, jp] - cv[rows])
+    )
+    return unew, vnew, pnew
+
+
+def smooth_rows(
+    cur: np.ndarray, new: np.ndarray, old: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Robert-Asselin time smoothing: returns (new_old, new_cur) rows."""
+    smoothed = cur[rows] + ALPHA * (new[rows] - 2.0 * cur[rows] + old[rows])
+    return smoothed, new[rows].copy()
+
+
+def sequential_shallow(n: int, steps: int, init) -> Dict[str, np.ndarray]:
+    """Reference integration with the identical kernels."""
+    f = {k: v.copy() for k, v in init.items()}
+    for k in ("cu", "cv", "z", "h", "unew", "vnew", "pnew"):
+        f[k] = np.zeros((n, n))
+    rows = np.arange(n)
+    tdt = DT
+    for step in range(steps):
+        f["cu"][rows], f["cv"][rows], f["z"][rows], f["h"][rows] = flux_rows(
+            f["p"], f["u"], f["v"], rows
+        )
+        f["unew"][rows], f["vnew"][rows], f["pnew"][rows] = advance_rows(
+            f, rows, tdt
+        )
+        if step == 0:
+            tdt = 2.0 * DT
+            for name in ("u", "v", "p"):
+                f[name + "old"] = f[name].copy()
+                f[name] = f[name + "new"].copy()
+        else:
+            for name in ("u", "v", "p"):
+                f[name + "old"][rows], f[name][rows] = smooth_rows(
+                    f[name], f[name + "new"], f[name + "old"], rows
+                )
+    return f
+
+
+def initial_fields(n: int) -> Dict[str, np.ndarray]:
+    """The classic swm initial condition: a doubly periodic stream
+    function with the matching geopotential perturbation."""
+    a = 1.0e6
+    el = n * DX
+    di = dj = 2.0 * np.pi / n
+    pcf = np.pi * np.pi * a * a / (el * el)
+    i = np.arange(n)
+    psi = (
+        a
+        * np.sin((i[:, None] + 0.5) * di)
+        * np.sin((i[None, :] + 0.5) * dj)
+    )
+    u = -(psi - np.roll(psi, 1, axis=1)) / DY
+    v = (psi - np.roll(psi, 1, axis=0)) / DX
+    p = pcf * (
+        np.cos(2.0 * i[:, None] * di) + np.cos(2.0 * i[None, :] * dj)
+    ) + 5.0e4
+    return {
+        "u": u, "v": v, "p": p,
+        "uold": u.copy(), "vold": v.copy(), "pold": p.copy(),
+    }
+
+
+@register_app("shallow")
+class ShallowApp(DsmApplication):
+    """NCAR shallow-water kernel."""
+
+    name = "Shallow"
+    synchronization = "barriers"
+
+    FIELDS = (
+        "u", "v", "p", "uold", "vold", "pold",
+        "cu", "cv", "z", "h", "unew", "vnew", "pnew",
+    )
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        steps: Optional[int] = None,
+        paper_scale: bool = False,
+        home_policy: str = "round_robin",
+    ):
+        if paper_scale:
+            self.n = n or 64
+            self.steps = steps or 5000
+        else:
+            self.n = n or 32
+            self.steps = steps or 6
+        self.home_policy = home_policy
+        self.iterations = self.steps
+        self.data_set = f"{self.steps} iterations on {self.n}x{self.n} grids"
+
+    # ------------------------------------------------------------------
+    def allocate(self, space: SharedAddressSpace, nprocs: int) -> None:
+        init = initial_fields(self.n)
+        zeros = np.zeros((self.n, self.n))
+        for name in self.FIELDS:
+            space.allocate(
+                name, (self.n, self.n), np.float64,
+                init=init.get(name, zeros),
+            )
+
+    def homes(self, space: SharedAddressSpace, nprocs: int) -> Optional[List[int]]:
+        if self.home_policy != "aligned":
+            return None  # round-robin: the TreadMarks/HLRC default
+
+        owners: Dict[str, List[int]] = {}
+        row_bytes = self.n * 8
+        per = -(-self.n // nprocs)
+        for name in self.FIELDS:
+            var = space.var(name)
+            page_owner = []
+            for p in space.pages_of(var):
+                off = max(p * space.page_size, var.offset) - var.offset
+                row = min(off // row_bytes, self.n - 1)
+                page_owner.append(min(row // per, nprocs - 1))
+            owners[name] = page_owner
+        return owner_homes(space, nprocs, owners)
+
+    # ------------------------------------------------------------------
+    def program(self, dsm: "Dsm") -> Generator[Any, Any, None]:
+        n, p, rank = self.n, dsm.nprocs, dsm.rank
+        lo, hi = block_rows(n, p, rank)
+        rows = np.arange(lo, hi)
+        nrows = hi - lo
+
+        def row_range(a: int, b: int) -> Tuple[int, int]:
+            return a * n, b * n
+
+        def read_with_halo(names) -> Generator[Any, Any, None]:
+            """Own rows plus the periodic halo row on both sides (the
+            Sadourny stencil references a-1 and a+1 in each phase)."""
+            for name in names:
+                yield from dsm.read(name, *row_range(lo, hi))
+                for halo in ((lo - 1) % n, hi % n):
+                    yield from dsm.read(name, *row_range(halo, halo + 1))
+
+        fields = {name: dsm.arr(name) for name in self.FIELDS}
+        tdt = DT
+        flops_per_row = 30.0 * n
+
+        for step in range(self.steps):
+            if nrows:
+                # phase 1: fluxes (reads row hi, the +1 halo)
+                yield from read_with_halo(("p", "u", "v"))
+                for name in ("cu", "cv", "z", "h"):
+                    yield from dsm.write(name, *row_range(lo, hi))
+                cu, cv, z, h = flux_rows(fields["p"], fields["u"], fields["v"], rows)
+                fields["cu"][lo:hi] = cu
+                fields["cv"][lo:hi] = cv
+                fields["z"][lo:hi] = z
+                fields["h"][lo:hi] = h
+                yield from dsm.compute(flops_per_row * nrows)
+            yield from dsm.barrier()
+
+            if nrows:
+                # phase 2: advance (reads row lo-1, the -1 halo)
+                yield from read_with_halo(("cu", "cv", "z", "h"))
+                for name in ("uold", "vold", "pold"):
+                    yield from dsm.read(name, *row_range(lo, hi))
+                for name in ("unew", "vnew", "pnew"):
+                    yield from dsm.write(name, *row_range(lo, hi))
+                unew, vnew, pnew = advance_rows(fields, rows, tdt)
+                fields["unew"][lo:hi] = unew
+                fields["vnew"][lo:hi] = vnew
+                fields["pnew"][lo:hi] = pnew
+                yield from dsm.compute(flops_per_row * nrows)
+            yield from dsm.barrier()
+
+            # phase 3: time smoothing / level rotation (all local rows)
+            if nrows:
+                if step == 0:
+                    for name in ("u", "v", "p"):
+                        yield from dsm.read(name, *row_range(lo, hi))
+                        yield from dsm.read(name + "new", *row_range(lo, hi))
+                        yield from dsm.write(name + "old", *row_range(lo, hi))
+                        yield from dsm.write(name, *row_range(lo, hi))
+                        fields[name + "old"][lo:hi] = fields[name][lo:hi]
+                        fields[name][lo:hi] = fields[name + "new"][lo:hi]
+                else:
+                    for name in ("u", "v", "p"):
+                        yield from dsm.read(name + "new", *row_range(lo, hi))
+                        yield from dsm.read(name + "old", *row_range(lo, hi))
+                        yield from dsm.write(name + "old", *row_range(lo, hi))
+                        yield from dsm.write(name, *row_range(lo, hi))
+                        sm, cur = smooth_rows(
+                            fields[name], fields[name + "new"],
+                            fields[name + "old"], rows,
+                        )
+                        fields[name + "old"][lo:hi] = sm
+                        fields[name][lo:hi] = cur
+                yield from dsm.compute(9.0 * nrows * n)
+            if step == 0:
+                tdt = 2.0 * DT
+            yield from dsm.barrier()
+
+    # ------------------------------------------------------------------
+    def verify(self, system: "DsmSystem") -> bool:
+        ref = sequential_shallow(self.n, self.steps, initial_fields(self.n))
+        for name in ("u", "v", "p", "uold", "vold", "pold"):
+            got = gather_global(system, name)
+            if not np.allclose(got, ref[name], rtol=1e-10, atol=1e-9):
+                return False
+            if not np.all(np.isfinite(got)):
+                return False
+        return True

@@ -1,0 +1,120 @@
+"""Red-black successive over-relaxation (extra workload).
+
+Not one of the paper's four applications, but a classic SDSM benchmark
+with a pure nearest-neighbour pattern: the grid is row-block
+distributed and each half-sweep updates one colour from the other,
+faulting only on the two halo rows.  Useful as a low-communication
+contrast to the all-to-all 3D-FFT in the ablation benches, and as a
+compact example workload.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory import SharedAddressSpace
+from .base import DsmApplication, block_rows, gather_global, owner_homes, register_app
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dsm.api import Dsm
+    from ..dsm.system import DsmSystem
+
+__all__ = ["SorApp", "sor_halfsweep", "sequential_sor"]
+
+OMEGA = 1.5
+
+
+def sor_halfsweep(grid: np.ndarray, rows: np.ndarray, colour: int) -> np.ndarray:
+    """Updated values of one colour on the given interior rows."""
+    n = grid.shape[0]
+    out = grid[rows].copy()
+    for idx, i in enumerate(rows):
+        if i == 0 or i == n - 1:
+            continue
+        js = np.arange(1 + (i + colour) % 2, n - 1, 2)
+        if js.size == 0:
+            continue
+        neigh = grid[i - 1, js] + grid[i + 1, js] + grid[i, js - 1] + grid[i, js + 1]
+        out[idx, js] = (1 - OMEGA) * grid[i, js] + OMEGA * 0.25 * neigh
+    return out
+
+
+def sequential_sor(n: int, iters: int, init: np.ndarray) -> np.ndarray:
+    """Reference: identical half-sweeps on a plain array."""
+    g = init.copy()
+    rows = np.arange(n)
+    for _ in range(iters):
+        for colour in (0, 1):
+            g[rows] = sor_halfsweep(g, rows, colour)
+    return g
+
+
+def initial_grid(n: int) -> np.ndarray:
+    g = np.zeros((n, n))
+    g[0, :] = 1.0  # hot top boundary
+    return g
+
+
+@register_app("sor")
+class SorApp(DsmApplication):
+    """Red-black SOR over a 2-D grid."""
+
+    name = "SOR"
+    synchronization = "barriers"
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        iters: Optional[int] = None,
+        paper_scale: bool = False,
+        home_policy: str = "round_robin",
+    ):
+        self.n = n or (128 if paper_scale else 32)
+        self.iters = iters or (100 if paper_scale else 4)
+        self.home_policy = home_policy
+        self.iterations = self.iters
+        self.data_set = f"{self.iters} iterations on {self.n}x{self.n} grid"
+
+    def allocate(self, space: SharedAddressSpace, nprocs: int) -> None:
+        space.allocate("grid", (self.n, self.n), np.float64,
+                       init=initial_grid(self.n))
+
+    def homes(self, space: SharedAddressSpace, nprocs: int) -> Optional[List[int]]:
+        if self.home_policy != "aligned":
+            return None  # round-robin: the TreadMarks/HLRC default
+
+        var = space.var("grid")
+        row_bytes = self.n * 8
+        per = -(-self.n // nprocs)
+        page_owner = []
+        for p in space.pages_of(var):
+            off = max(p * space.page_size, var.offset) - var.offset
+            row = min(off // row_bytes, self.n - 1)
+            page_owner.append(min(row // per, nprocs - 1))
+        return owner_homes(space, nprocs, {"grid": page_owner})
+
+    def program(self, dsm: "Dsm") -> Generator[Any, Any, None]:
+        n, p, rank = self.n, dsm.nprocs, dsm.rank
+        lo, hi = block_rows(n, p, rank)
+        rows = np.arange(lo, hi)
+        grid = dsm.arr("grid")
+
+        def row_elems(a: int, b: int) -> Tuple[int, int]:
+            return a * n, b * n
+
+        for _ in range(self.iters):
+            for colour in (0, 1):
+                if hi > lo:
+                    a, b = max(lo - 1, 0), min(hi + 1, n)
+                    yield from dsm.read("grid", *row_elems(a, b))
+                    yield from dsm.write("grid", *row_elems(lo, hi))
+                    grid[lo:hi] = sor_halfsweep(grid, rows, colour)
+                    yield from dsm.compute(6.0 * (hi - lo) * n / 2)
+                yield from dsm.barrier()
+
+    def verify(self, system: "DsmSystem") -> bool:
+        ref = sequential_sor(self.n, self.iters, initial_grid(self.n))
+        got = gather_global(system, "grid")
+        return bool(np.allclose(got, ref, rtol=1e-12, atol=1e-12))

@@ -1,0 +1,194 @@
+"""Cluster and cost-model configuration.
+
+The paper's testbed is a cluster of eight Sun Ultra-5 workstations
+(270 MHz UltraSPARC-IIi, 64 MB RAM, local IDE disks) connected by a
+switched 100 Mbps Ethernet, running modified TreadMarks under Solaris
+2.6.  :class:`ClusterConfig` captures every quantity the simulator needs
+to price protocol actions on that hardware; :meth:`ClusterConfig.ultra5`
+returns the calibrated default.
+
+All times are in **seconds**, sizes in **bytes**, and rates in
+**bytes/second** or **flop/s** so that arithmetic in the engine never
+needs unit conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+__all__ = [
+    "NetworkConfig",
+    "DiskConfig",
+    "CpuConfig",
+    "ClusterConfig",
+    "DEFAULT_PAGE_SIZE",
+    "WORD_SIZE",
+]
+
+#: Coherence unit used by the paper's platform (Solaris VM page).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Diff granularity: diffs compare and ship 4-byte words, as TreadMarks does.
+WORD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Timing model for the switched-Ethernet interconnect.
+
+    A message of ``n`` bytes from A to B costs::
+
+        send_overhead_s            (sender CPU, on sender's critical path)
+        + n / bandwidth_bps        (serialisation on sender NIC, FIFO)
+        + latency_s                (wire + switch + receiver interrupt)
+        + recv_overhead_s          (receiver CPU, charged to the handler)
+
+    The switch is non-blocking, so there is no shared-medium contention;
+    only the per-node NICs serialise traffic, matching full-duplex
+    switched fast Ethernet.
+    """
+
+    #: One-way wire + switch + interrupt latency for a minimal message.
+    latency_s: float = 150e-6
+    #: Sustainable point-to-point bandwidth (100 Mbps fast Ethernet,
+    #: de-rated for UDP/IP overhead).
+    bandwidth_bps: float = 10.5e6
+    #: Sender-side per-message CPU cost (syscall + UDP/IP stack on a
+    #: 270 MHz UltraSPARC; TreadMarks-era measurements put this above
+    #: 100 us each way, which is why its page fetches cost 1-2 ms).
+    send_overhead_s: float = 120e-6
+    #: Receiver-side per-message CPU cost (interrupt + dispatch).
+    recv_overhead_s: float = 120e-6
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Serialisation time of ``nbytes`` on a NIC."""
+        return nbytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Timing model for a node's local disk (stable storage).
+
+    Reads and writes are priced asymmetrically, reflecting how the
+    paper's platform behaves:
+
+    * **writes** (log flushes, checkpoints) go through the OS buffer
+      cache -- a ``write()`` returns after the syscall and the copy,
+      with the physical I/O draining in the background.  The effective
+      per-operation latency is therefore small, while sustained volume
+      still pays the transfer bandwidth (the cache drains at disk
+      speed, so bandwidth bounds throughput).
+    * **reads** during recovery hit a cold cache and pay the full seek +
+      rotational latency of a late-1990s IDE disk (~8-10 ms) plus the
+      transfer -- the "high disk access latency in reading large logged
+      data" charged against ML-recovery in Section 4.3.
+    """
+
+    #: Cold random-read latency per operation (full seek + rotation).
+    #: Paid when recovery opens a checkpoint or repositions in the log.
+    access_latency_s: float = 8e-3
+    #: Sequential-scan continuation latency per operation.  Replay
+    #: consumes the log in append order, so OS read-ahead keeps the next
+    #: records in flight and each read costs only the request overhead.
+    seq_read_latency_s: float = 0.4e-3
+    #: Buffer-cache-warm read latency.  A *survivor* serving its own
+    #: recently written log finds it in the OS page cache.
+    cached_read_latency_s: float = 0.25e-3
+    #: Effective buffered-write latency per operation (syscall + copy).
+    write_latency_s: float = 0.5e-3
+    #: Sequential transfer bandwidth (bounds both directions).
+    bandwidth_bps: float = 9.0e6
+
+    def read_time(self, nbytes: int) -> float:
+        """Service time for one cold random read of ``nbytes``."""
+        return self.access_latency_s + nbytes / self.bandwidth_bps
+
+    def seq_read_time(self, nbytes: int) -> float:
+        """Service time for one sequential-scan read of ``nbytes``."""
+        return self.seq_read_latency_s + nbytes / self.bandwidth_bps
+
+    def cached_read_time(self, nbytes: int) -> float:
+        """Service time for one cache-warm read of ``nbytes``."""
+        return self.cached_read_latency_s + nbytes / self.bandwidth_bps
+
+    def write_time(self, nbytes: int) -> float:
+        """Service time for one buffered write of ``nbytes``."""
+        return self.write_latency_s + nbytes / self.bandwidth_bps
+
+    def op_time(self, nbytes: int) -> float:
+        """Backward-compatible alias for :meth:`read_time`."""
+        return self.read_time(nbytes)
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Timing model for protocol-related CPU work on one node.
+
+    ``flops`` charged by applications are divided by :attr:`flop_rate`.
+    The protocol costs below are per-event and were chosen to mirror
+    published TreadMarks/HLRC microbenchmarks on UltraSPARC-class
+    hardware (page fault handling including ``mprotect`` ~ 100 us, twin
+    copy and diff scan a few CPU cycles per byte).
+    """
+
+    #: Application floating-point throughput (270 MHz UltraSPARC-IIi,
+    #: ~1 flop/cycle sustained on these kernels).
+    flop_rate: float = 30e6
+    #: Fixed cost of fielding a page fault (trap + handler dispatch).
+    page_fault_s: float = 80e-6
+    #: Cost of creating a twin (copy one page).
+    twin_copy_per_byte_s: float = 9e-9
+    #: Cost of scanning twin vs. working copy during diff creation.
+    diff_scan_per_byte_s: float = 12e-9
+    #: Cost of applying one diffed byte at the home node.
+    diff_apply_per_byte_s: float = 10e-9
+    #: Fixed cost of any synchronisation operation (bookkeeping).
+    sync_overhead_s: float = 30e-6
+
+    def compute_time(self, flops: float) -> float:
+        """Wall time to execute ``flops`` floating-point operations."""
+        return flops / self.flop_rate
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Full description of the simulated cluster.
+
+    Instances are immutable; use :meth:`with_changes` to derive variants
+    for ablation sweeps (e.g. a slower disk or a larger page).
+    """
+
+    num_nodes: int = 8
+    page_size: int = DEFAULT_PAGE_SIZE
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    #: Default shared address-space size (bytes); applications may
+    #: request more at allocation time.
+    shared_memory_bytes: int = 64 << 20
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.page_size < 2 * WORD_SIZE or self.page_size % WORD_SIZE:
+            raise ConfigError(
+                f"page_size must be a multiple of {WORD_SIZE} words, got {self.page_size}"
+            )
+        if self.shared_memory_bytes % self.page_size:
+            raise ConfigError("shared_memory_bytes must be page aligned")
+
+    @classmethod
+    def ultra5(cls, num_nodes: int = 8, **overrides) -> "ClusterConfig":
+        """The paper's testbed: 8 Sun Ultra-5s on 100 Mbps switched Ethernet."""
+        return cls(num_nodes=num_nodes, **overrides)
+
+    def with_changes(self, **changes) -> "ClusterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def words_per_page(self) -> int:
+        """Number of diff-granularity words in one page."""
+        return self.page_size // WORD_SIZE

@@ -1,0 +1,82 @@
+"""The paper's contribution: logging protocols and crash recovery.
+
+* :mod:`repro.core.ml` -- traditional message logging (baseline).
+* :mod:`repro.core.ccl` -- coherence-centric logging (the contribution).
+* :mod:`repro.core.stablelog`, :mod:`repro.core.logrecords` -- the
+  stable-storage log with byte-exact size accounting.
+* :mod:`repro.core.checkpoint` -- full + incremental checkpointing.
+* :mod:`repro.core.failure` -- crash-point specification and capture.
+* :mod:`repro.core.recovery` (+ :mod:`repro.core.ml_recovery`,
+  :mod:`repro.core.ccl_recovery`) -- replay engines and the two-phase
+  recovery experiment driver with bit-exact state verification.
+"""
+
+from .logging_base import (
+    LoggingHooks,
+    NoLogging,
+    PROTOCOL_NAMES,
+    make_hooks,
+    make_hooks_factory,
+)
+from .ml import MessageLogging
+from .ccl import CoherenceCentricLogging
+from .stablelog import StableLog
+from .logrecords import (
+    FetchLogRecord,
+    IncomingDiffLogRecord,
+    LogRecord,
+    NoticeLogRecord,
+    OwnDiffLogRecord,
+    PageCopyLogRecord,
+    UpdateEventLogRecord,
+)
+from .checkpoint import Checkpointer, CheckpointMeta, CheckpointSnapshot
+from .failure import CrashProbe, FailureSnapshot, FailureSpec
+from .detector import FailureDetector, Heartbeat
+from .responder import FailedNodeResponder, SurvivorResponder
+from .recovery import (
+    MultiRecoveryResult,
+    RecoveryResult,
+    ReplayNode,
+    compare_state,
+    run_multi_recovery_experiment,
+    run_recovery_experiment,
+)
+from .ml_recovery import MlReplayNode
+from .ccl_recovery import CclReplayNode
+
+__all__ = [
+    "LoggingHooks",
+    "NoLogging",
+    "PROTOCOL_NAMES",
+    "make_hooks",
+    "make_hooks_factory",
+    "MessageLogging",
+    "CoherenceCentricLogging",
+    "StableLog",
+    "LogRecord",
+    "NoticeLogRecord",
+    "FetchLogRecord",
+    "PageCopyLogRecord",
+    "UpdateEventLogRecord",
+    "IncomingDiffLogRecord",
+    "OwnDiffLogRecord",
+    "Checkpointer",
+    "CheckpointMeta",
+    "CheckpointSnapshot",
+    "CrashProbe",
+    "FailureSnapshot",
+    "FailureSpec",
+    "FailureDetector",
+    "Heartbeat",
+    "SurvivorResponder",
+    "FailedNodeResponder",
+    "ReplayNode",
+    "RecoveryResult",
+    "MultiRecoveryResult",
+    "compare_state",
+    "run_recovery_experiment",
+    "run_multi_recovery_experiment",
+    "MlReplayNode",
+    "CclReplayNode",
+]

@@ -1,0 +1,84 @@
+"""Failure specification and crash-point capture.
+
+The paper's failure model (Section 3.2, Figure 1b): a node crashes "a
+certain time after the volatile logs of this interval are flushed to
+the local disk, but before the next checkpoint is created".  We model
+the crash point as the completion of the node's ``at_seal``-th
+interval-ending synchronisation operation, at which the just-sealed log
+bundle -- including any update events that raced in during the seal --
+is durable (:meth:`~repro.core.stablelog.StableLog.force_seal`).
+
+Because recovery is measured in a separate replay simulation (phase B),
+the failure-free run (phase A) is never actually aborted; the
+:class:`CrashProbe` records a :class:`FailureSnapshot` of the victim's
+memory image, page-table state, and vector clock at the crash point,
+against which the recovered state is verified bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dsm.hlrc import HlrcNode
+from ..dsm.interval import VectorClock
+from ..memory.page import PageState
+
+__all__ = ["FailureSpec", "FailureSnapshot", "CrashProbe"]
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Which node crashes, and after how many sealed intervals."""
+
+    node: int
+    at_seal: int
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.at_seal < 1:
+            raise ValueError(f"bad failure spec: {self}")
+
+
+class FailureSnapshot:
+    """The victim's externally-visible state at the crash point."""
+
+    def __init__(self, node: HlrcNode, seal_count: int):
+        self.node_id = node.id
+        self.seal_count = seal_count
+        self.time = node.sim.now
+        self.memory: np.ndarray = node.memory.snapshot()
+        self.vt: VectorClock = node.vt
+        self.interval_index = node.interval_index
+        #: page -> (state, version) at the crash point.
+        self.page_states: Dict[int, Tuple[PageState, Optional[VectorClock]]] = {}
+        for p in range(node.pagetable.npages):
+            e = node.pagetable.entry(p)
+            self.page_states[p] = (e.state, e.version)
+
+
+class CrashProbe:
+    """A probe capturing the crash-point snapshot during phase A.
+
+    With ``at_seal`` set, the snapshot is taken exactly once; with
+    ``at_seal=None`` every seal overwrites the snapshot, so after the
+    run it reflects the victim's *last* interval -- the default failure
+    point of the recovery experiments (a crash near the end of the run,
+    where recovery has the most to replay).
+    """
+
+    def __init__(self, node: int, at_seal: Optional[int] = None):
+        self.node = node
+        self.at_seal = at_seal
+        self.snapshot: Optional[FailureSnapshot] = None
+
+    def __call__(self, node: HlrcNode, seal_count: int) -> None:
+        if node.id != self.node:
+            return
+        if self.at_seal is not None and seal_count != self.at_seal:
+            return
+        log = getattr(node.hooks, "log", None)
+        if log is not None:
+            log.force_seal()
+        self.snapshot = FailureSnapshot(node, seal_count)

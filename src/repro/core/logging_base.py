@@ -1,0 +1,45 @@
+"""Logging-protocol registry and factories.
+
+Re-exports the hook interface from the DSM layer (where it lives to
+keep the dependency graph acyclic) and provides the name-based factory
+the harness and the recovery driver use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..dsm.logginghooks import LoggingHooks, NoLogging
+from ..errors import ConfigError
+
+__all__ = [
+    "LoggingHooks",
+    "NoLogging",
+    "PROTOCOL_NAMES",
+    "make_hooks",
+    "make_hooks_factory",
+]
+
+#: The three protocols of the evaluation (paper Section 4).
+PROTOCOL_NAMES = ("none", "ml", "ccl")
+
+
+def make_hooks(name: str) -> LoggingHooks:
+    """Instantiate a logging protocol by name."""
+    if name == "none":
+        return NoLogging()
+    if name == "ml":
+        from .ml import MessageLogging
+
+        return MessageLogging()
+    if name == "ccl":
+        from .ccl import CoherenceCentricLogging
+
+        return CoherenceCentricLogging()
+    raise ConfigError(f"unknown logging protocol {name!r}; know {PROTOCOL_NAMES}")
+
+
+def make_hooks_factory(name: str) -> Callable[[int], LoggingHooks]:
+    """A per-node factory for :class:`~repro.dsm.system.DsmSystem`."""
+    make_hooks(name)  # validate eagerly
+    return lambda _node_id: make_hooks(name)

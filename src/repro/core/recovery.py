@@ -1,0 +1,691 @@
+"""Crash recovery: replay engine, orchestration, and verification.
+
+Recovery re-executes the failed node's program deterministically from
+its most recent checkpoint (the initial state in the paper's
+experiments), consuming logged data instead of performing live
+synchronisation (paper Figures 2-3, ``in_recovery`` branches):
+
+* locks and barriers are local -- no manager traffic, no waiting on
+  peers (a large part of recovery's speedup over re-execution);
+* write-invalidation notices come from the local log, replayed at the
+  same in-interval positions they originally arrived at;
+* home copies are brought forward with logged update data;
+* remote copies are revalidated from logged information -- ML installs
+  the logged page contents at each memory miss, CCL prefetches and
+  reconstructs every page at each interval start.
+
+The experiment driver :func:`run_recovery_experiment` runs two
+simulations.  **Phase A** executes the application failure-free under
+the chosen logging protocol, with a :class:`~repro.core.failure.CrashProbe`
+capturing the victim's state at the crash point.  **Phase B** replays
+the victim in a fresh simulation against
+:class:`~repro.core.responder.SurvivorResponder` services built from the
+survivors' phase-A state, measures the replay's virtual duration, and
+verifies that the recovered memory image, page states, versions, and
+vector clock match the crash-point snapshot exactly.
+
+A note on in-flight messages: a diff acknowledged by the victim in the
+instant between its last flush and the crash would be absent from the
+log.  We adopt the paper's crash point ("a certain time after the
+volatile logs of this interval are flushed") by force-sealing the
+volatile tail at the probe, i.e. the crash is assumed to follow a
+quiescent flush.  A production system would add a writer-driven
+re-delivery pass (writers hold their own diffs in the CCL log), which
+is exactly why CCL logs outgoing diffs durably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ClusterConfig
+from ..dsm.api import Dsm
+from ..dsm.hlrc import HlrcNode
+from ..dsm.interval import IntervalRecord, VectorClock
+from ..dsm.system import DsmSystem, RunResult
+from ..errors import RecoveryError
+from ..memory import LocalMemory, PageState, PageTable
+from ..memory.diff import Diff
+from ..sim.disk import Disk
+from ..sim.engine import Simulator
+from ..sim.events import Signal, Timeout
+from ..sim.network import NetMessage, Network
+from ..sim.stats import NodeStats
+from .checkpoint import Checkpointer, CheckpointSnapshot
+from .failure import CrashProbe, FailureSnapshot
+from .logging_base import make_hooks_factory
+from .logrecords import NoticeLogRecord
+from .responder import FailedNodeResponder, SurvivorResponder
+from .stablelog import StableLog
+
+__all__ = [
+    "ReplayNode",
+    "RecoveryResult",
+    "MultiRecoveryResult",
+    "run_recovery_experiment",
+    "run_multi_recovery_experiment",
+    "compare_state",
+]
+
+
+class ReplayNode:
+    """Base recovery-mode node; protocol specifics live in subclasses.
+
+    Presents the same surface as :class:`~repro.dsm.hlrc.HlrcNode` to
+    the :class:`~repro.dsm.api.Dsm` facade, so unmodified application
+    code drives the replay.
+    """
+
+    protocol = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        disk: Disk,
+        config: ClusterConfig,
+        space,
+        homes: List[int],
+        node_id: int,
+        plog: StableLog,
+        stop_at_seal: int,
+        responders: Dict[int, SurvivorResponder],
+        free_until_seal: int = 0,
+        checkpoint: Optional[CheckpointSnapshot] = None,
+    ):
+        self.sim = sim
+        self.net = net
+        self.disk = disk
+        self.cfg = config
+        self.id = node_id
+        self.memory = LocalMemory(space)
+        self.pagetable = PageTable(node_id, space.npages, homes)
+        for p in self.pagetable.home_pages():
+            self.pagetable.entry(p).version = VectorClock.zero(config.num_nodes)
+        self.vt = VectorClock.zero(config.num_nodes)
+        self.interval_index = 0
+        self.acq_seq = 0
+        self.seal_count = 0
+        self.plog = plog
+        self.stop_at = stop_at_seal
+        self.responders = responders
+        self.free_until = free_until_seal
+        self.checkpoint = checkpoint
+        self.stats = NodeStats(node_id)
+        #: Triggered with the virtual completion time when replay
+        #: reaches the crash point.
+        self.done = Signal(f"replay{node_id}.done")
+        self._halt = Signal(f"replay{node_id}.halt")  # never triggers
+
+    # ------------------------------------------------------------------
+    @property
+    def timed(self) -> bool:
+        """False while fast-forwarding to the checkpoint (zero cost)."""
+        return self.seal_count >= self.free_until
+
+    def _spend(self, category: str, seconds: float) -> Generator[Any, Any, None]:
+        if self.timed and seconds > 0:
+            self.stats.charge(category, seconds)
+            yield Timeout(seconds)
+
+    def _disk_read(self, category: str, nbytes: int) -> Generator[Any, Any, None]:
+        """A sequential log-scan read (replay consumes the log in order)."""
+        if self.timed and nbytes > 0:
+            t0 = self.sim.now
+            yield self.disk.read_seq(nbytes)
+            self.stats.charge(category, self.sim.now - t0)
+            self.stats.count("log_reads")
+            self.stats.count("log_read_bytes", nbytes)
+
+    # ------------------------------------------------------------------
+    # Dsm-facing surface
+    # ------------------------------------------------------------------
+    def compute(self, flops: float) -> Generator[Any, Any, None]:
+        """Re-execute application work (full cost in timed mode)."""
+        yield from self._spend("compute", self.cfg.cpu.compute_time(flops))
+
+    def idle(self, seconds: float) -> Generator[Any, Any, None]:
+        """Re-execute an idle phase."""
+        yield from self._spend("compute", seconds)
+
+    def acquire(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Recovery acquire: local, fed from the logged notices."""
+        yield from self._spend("sync", self.cfg.cpu.sync_overhead_s)
+        self.acq_seq += 1
+        yield from self._process_window(self.acq_seq)
+        self.stats.count("lock_acquires")
+
+    def release(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Recovery release: just closes the interval (Figure 2)."""
+        yield from self._seal_interval()
+        self.stats.count("lock_releases")
+
+    def barrier(self, barrier_id: int = 0) -> Generator[Any, Any, None]:
+        """Recovery barrier: closes the interval, no waiting (Figure 3)."""
+        yield from self._seal_interval()
+        self.stats.count("barriers")
+
+    def ensure_read(self, pages) -> Generator[Any, Any, None]:
+        for p in pages:
+            entry = self.pagetable.entry(p)
+            if entry.state is PageState.INVALID and entry.home != self.id:
+                yield from self._replay_fault(p)
+
+    def ensure_write(self, pages) -> Generator[Any, Any, None]:
+        cpu = self.cfg.cpu
+        for p in pages:
+            entry = self.pagetable.entry(p)
+            if entry.home == self.id:
+                self.pagetable.mark_dirty(p)
+                continue
+            if entry.state is PageState.INVALID:
+                yield from self._replay_fault(p)
+            if entry.state is PageState.CLEAN:
+                # twins are still created for pages written in the next
+                # interval (Figure 2's in_recovery acquire branch)
+                yield from self._spend(
+                    "diff", cpu.twin_copy_per_byte_s * self.cfg.page_size
+                )
+                self.pagetable.make_twin(p, self.memory.page_bytes(p))
+                entry.state = PageState.DIRTY
+            self.pagetable.mark_dirty(p)
+
+    # ------------------------------------------------------------------
+    # replay skeleton
+    # ------------------------------------------------------------------
+    def start(self) -> Generator[Any, Any, None]:
+        """Process the first interval's logged data before the app runs."""
+        yield from self._begin_interval()
+
+    def _seal_interval(self) -> Generator[Any, Any, None]:
+        yield from self._spend("sync", self.cfg.cpu.sync_overhead_s)
+        dirty = self.pagetable.take_dirty()
+        if dirty:
+            new_vt = self.vt.tick(self.id)
+            for p in dirty:
+                entry = self.pagetable.entry(p)
+                if entry.home == self.id:
+                    entry.version = entry.version.merge(new_vt)
+                elif entry.state is PageState.INVALID:
+                    # early-flushed mid-interval (notice hit a dirty
+                    # page) and not refetched: mirrors phase A exactly
+                    continue
+                else:
+                    self.pagetable.drop_twin(p)
+                    entry.state = PageState.CLEAN
+                    entry.version = (
+                        entry.version.merge(new_vt) if entry.version else new_vt
+                    )
+            self.vt = new_vt
+        self.interval_index += 1
+        self.acq_seq = 0
+        self.seal_count += 1
+        if (
+            self.checkpoint is not None
+            and self.seal_count == self.free_until
+        ):
+            # timed replay begins here: charge the checkpoint restore read
+            t0 = self.sim.now
+            yield self.disk.read(self.checkpoint.nbytes)
+            self.stats.charge("ckpt_restore", self.sim.now - t0)
+        if self.seal_count >= self.stop_at:
+            self.done.trigger(self.sim.now)
+            yield self._halt  # block forever; the controller reaps us
+        yield from self._begin_interval()
+
+    def _begin_interval(self) -> Generator[Any, Any, None]:
+        yield from self._boundary_read()
+        yield from self._apply_boundary_updates()
+        yield from self._process_window(0)
+
+    def _process_window(self, window: int) -> Generator[Any, Any, None]:
+        notices = self.plog.select(
+            NoticeLogRecord, interval=self.interval_index, window=window
+        )
+        yield from self._window_read(window, notices)
+        for rec in notices:
+            self._apply_notices(rec.records)
+        yield from self._prefetch_window(window)
+
+    def _apply_notices(self, records: List[IntervalRecord]) -> None:
+        for r in records:
+            if self.vt.covers_interval(r.node, r.index):
+                continue
+            if r.node != self.id:
+                for p in r.pages:
+                    entry = self.pagetable.entry(p)
+                    if entry.home == self.id:
+                        continue
+                    if entry.state is PageState.INVALID:
+                        continue
+                    if entry.version is not None and entry.version.dominates(r.vt):
+                        continue
+                    self.pagetable.invalidate(p)
+            self.vt = self.vt.merge(r.vt)
+
+    # ------------------------------------------------------------------
+    # diff gathering shared by home updates and page reconstruction
+    # ------------------------------------------------------------------
+    def _gather_diffs(
+        self,
+        wants_by_writer: Dict[int, List[Tuple[int, int, int]]],
+        ranges_by_writer: Optional[Dict[int, List[Tuple[int, int, int]]]] = None,
+    ) -> Generator[Any, Any, List[Tuple[Diff, int, int, int, VectorClock]]]:
+        """Fetch logged diffs from writers (or our own log), batched.
+
+        ``wants_by_writer`` maps a writer to exact ``(page, interval,
+        part)`` triples; ``ranges_by_writer`` to ``(page, lo, hi)``
+        interval-range queries (delta reconstruction).  One request per
+        writer carries both.
+        """
+        from ..dsm.messages import LogDiffRequest
+
+        ranges_by_writer = ranges_by_writer or {}
+        entries: List[Tuple[Diff, int, int, int, VectorClock]] = []
+        reply_sigs = []
+        for writer in sorted(set(wants_by_writer) | set(ranges_by_writer)):
+            wants = wants_by_writer.get(writer, [])
+            ranges = ranges_by_writer.get(writer, [])
+            if not wants and not ranges:
+                continue
+            if writer == self.id:
+                # our own earlier diffs live in the log's diff-data
+                # stream, which boundary scans skip: pull them now
+                nbytes = 0
+                for page, idx, part in wants:
+                    d, vt = self.plog.find_own_diff(page, idx, part)
+                    entries.append((d, writer, idx, part, vt))
+                    nbytes += d.nbytes
+                for page, lo, hi in ranges:
+                    for d, idx, part, vt in self.plog.find_own_diffs_in_range(
+                        page, lo, hi
+                    ):
+                        entries.append((d, writer, idx, part, vt))
+                        nbytes += d.nbytes
+                yield from self._disk_read("log_read", nbytes)
+            elif not self.timed:
+                reply, _rb = self.responders[writer].serve_logdiff(
+                    LogDiffRequest(self.id, wants, ranges)
+                )
+                entries.extend(reply.entries)
+            else:
+                req = LogDiffRequest(self.id, wants, ranges)
+                yield from self.net.send(
+                    NetMessage(self.id, writer, "logdiff_req", req, req.nbytes)
+                )
+                reply_sigs.append(
+                    self.net.mailbox(self.id).get(
+                        lambda m, w=writer: m.kind == "logdiff_reply" and m.src == w
+                    )
+                )
+        for sig in reply_sigs:
+            t0 = self.sim.now
+            msg = yield sig
+            self.stats.charge("prefetch", self.sim.now - t0)
+            entries.extend(msg.payload.entries)
+        return entries
+
+    @staticmethod
+    def causal_sort(entries: List[Tuple[Diff, int, int, int, VectorClock]]):
+        """Order diff entries along a linear extension of happens-before.
+
+        Sorting by (vt.total, writer, interval, part) is a valid linear
+        extension: vt totals strictly grow along happens-before, and
+        within one writer interval the early flushes (part >= 1)
+        happened before the end-of-interval flush only when their vt
+        total is lower -- ties are broken so that a later part applies
+        last, matching the original write order.
+        """
+        return sorted(entries, key=lambda e: (e[4].total, e[1], e[2], -e[3]))
+
+    # ------------------------------------------------------------------
+    # protocol-specific pieces
+    # ------------------------------------------------------------------
+    def _boundary_read(self) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def _apply_boundary_updates(self) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def _window_read(self, window: int, notices) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def _prefetch_window(self, window: int) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def _replay_fault(self, page: int) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+
+# ======================================================================
+# experiment driver
+# ======================================================================
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one recovery experiment."""
+
+    app_name: str
+    protocol: str
+    failed_node: int
+    at_seal: int
+    recovery_time: float
+    verified: bool
+    mismatches: List[str]
+    replay_stats: NodeStats
+    phase_a: RunResult = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        """Recovery completed and reproduced the crash-point state."""
+        return self.verified and not self.mismatches
+
+
+def compare_state(
+    replay: ReplayNode, snapshot: FailureSnapshot, page_size: int
+) -> List[str]:
+    """Bit-exact comparison of recovered state vs the crash snapshot."""
+    mismatches: List[str] = []
+    if replay.vt != snapshot.vt:
+        mismatches.append(f"vt: {replay.vt} != {snapshot.vt}")
+    if replay.interval_index != snapshot.interval_index:
+        mismatches.append(
+            f"interval_index: {replay.interval_index} != {snapshot.interval_index}"
+        )
+    for p, (s_state, s_ver) in snapshot.page_states.items():
+        entry = replay.pagetable.entry(p)
+        if entry.state is not s_state:
+            mismatches.append(f"page {p}: state {entry.state} != {s_state}")
+            continue
+        if s_state is PageState.INVALID and entry.home != replay.id:
+            continue  # dead frames carry no meaning
+        lo = p * page_size
+        if not np.array_equal(
+            replay.memory.buffer[lo : lo + page_size],
+            snapshot.memory[lo : lo + page_size],
+        ):
+            mismatches.append(f"page {p}: contents differ")
+        if s_ver != entry.version:
+            mismatches.append(f"page {p}: version {entry.version} != {s_ver}")
+    return mismatches
+
+
+def run_recovery_experiment(
+    app,
+    config: Optional[ClusterConfig] = None,
+    protocol: str = "ccl",
+    failed_node: int = 0,
+    at_seal: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_mode: str = "seals",
+    verify: bool = True,
+) -> RecoveryResult:
+    """Run phase A (failure-free + probe) and phase B (timed replay).
+
+    ``at_seal=None`` crashes the victim at its final interval (the
+    paper's setting: maximum work to recover).  ``checkpoint_every``
+    enables periodic checkpoints -- independent per-node
+    (``checkpoint_mode="seals"``, the paper's default) or coordinated at
+    barrier episodes (``"barriers"``, the paper's noted extension);
+    replay then starts timed execution at the latest checkpoint before
+    the crash.
+    """
+    from .ml_recovery import MlReplayNode
+    from .ccl_recovery import CclReplayNode
+
+    if protocol not in ("ml", "ccl"):
+        raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
+    config = config or ClusterConfig.ultra5()
+
+    # ---------------- phase A: failure-free run with probe -------------
+    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
+    probe = CrashProbe(failed_node, at_seal)
+    system_a.add_probe(probe)
+    checkpointers: Dict[int, Checkpointer] = {}
+    if checkpoint_every:
+        for node in system_a.nodes:
+            checkpointers[node.id] = Checkpointer(
+                checkpoint_every, on=checkpoint_mode
+            )
+            node.checkpointer = checkpointers[node.id]
+    result_a = system_a.run()
+    snapshot = probe.snapshot
+    if snapshot is None:
+        raise RecoveryError(
+            f"node {failed_node} never reached seal {at_seal}; cannot crash there"
+        )
+    at_seal = snapshot.seal_count
+
+    # ---------------- phase B: timed replay ----------------------------
+    sim_b = Simulator()
+    net_b = Network(sim_b, config.network, config.num_nodes)
+    disks_b = [
+        Disk(sim_b, config.disk, f"rdisk{i}") for i in range(config.num_nodes)
+    ]
+    ckpt_image = LocalMemory(system_a.space)
+    responders = {
+        node.id: SurvivorResponder(node, ckpt_image)
+        for node in system_a.nodes
+        if node.id != failed_node
+    }
+    plog = getattr(system_a.nodes[failed_node].hooks, "log")
+
+    free_until = 0
+    ckpt_snapshot: Optional[CheckpointSnapshot] = None
+    if checkpoint_every and failed_node in checkpointers:
+        ckpt_snapshot = checkpointers[failed_node].latest_before(at_seal - 1)
+        if ckpt_snapshot is not None:
+            free_until = ckpt_snapshot.seal
+
+    node_cls = MlReplayNode if protocol == "ml" else CclReplayNode
+    replay = node_cls(
+        sim_b,
+        net_b,
+        disks_b[failed_node],
+        config,
+        system_a.space,
+        system_a.homes,
+        failed_node,
+        plog,
+        at_seal,
+        responders,
+        free_until_seal=free_until,
+        checkpoint=ckpt_snapshot,
+    )
+
+    responder_procs = [
+        sim_b.spawn(r.loop(net_b, disks_b[r.id]), name=f"responder{r.id}")
+        for r in responders.values()
+    ]
+
+    def replay_main() -> Generator[Any, Any, None]:
+        yield from replay.start()
+        dsm = Dsm(replay, failed_node, config.num_nodes)
+        yield from app.program(dsm)
+
+    main = sim_b.spawn(replay_main(), name=f"replay{failed_node}")
+
+    def controller() -> Generator[Any, Any, None]:
+        yield replay.done
+        main.kill()
+        for proc in responder_procs:
+            proc.kill()
+
+    sim_b.spawn(controller(), name="recovery-controller")
+    sim_b.run()
+    if not replay.done.triggered:
+        raise RecoveryError("replay never reached the crash point")
+    recovery_time = float(replay.done.value)
+
+    mismatches: List[str] = []
+    if verify:
+        mismatches = compare_state(replay, snapshot, config.page_size)
+    return RecoveryResult(
+        app_name=getattr(app, "name", type(app).__name__),
+        protocol=protocol,
+        failed_node=failed_node,
+        at_seal=at_seal,
+        recovery_time=recovery_time,
+        verified=verify,
+        mismatches=mismatches,
+        replay_stats=replay.stats,
+        phase_a=result_a,
+    )
+
+
+# ======================================================================
+# multi-failure recovery (beyond the paper)
+# ======================================================================
+
+
+@dataclass
+class MultiRecoveryResult:
+    """Outcome of a simultaneous multi-node failure recovery.
+
+    The paper's protocol is evaluated for single failures, but CCL's
+    decision to make every node log its *own outgoing diffs* durably is
+    exactly what multi-failure recovery needs: a crashed peer's memory
+    is gone, yet its disk can still serve the diffs and histories other
+    victims' replays require (:class:`~repro.core.responder.FailedNodeResponder`).
+    """
+
+    app_name: str
+    protocol: str
+    failed_nodes: Tuple[int, ...]
+    at_seals: Dict[int, int]
+    #: Per-victim replay completion times (virtual seconds).
+    recovery_times: Dict[int, float]
+    mismatches: Dict[int, List[str]]
+    phase_a: RunResult = field(repr=False, default=None)
+
+    @property
+    def recovery_time(self) -> float:
+        """Wall recovery time: the victims replay concurrently."""
+        return max(self.recovery_times.values())
+
+    @property
+    def ok(self) -> bool:
+        """Every victim reached its crash point with bit-exact state."""
+        return all(not m for m in self.mismatches.values())
+
+
+def run_multi_recovery_experiment(
+    app,
+    config: Optional[ClusterConfig] = None,
+    protocol: str = "ccl",
+    failed_nodes: Tuple[int, ...] = (0, 1),
+    verify: bool = True,
+) -> MultiRecoveryResult:
+    """Crash several nodes at their final intervals and recover them all.
+
+    Victims replay **concurrently** in one simulation: each consumes its
+    own log; survivors serve reconstruction data from live state; the
+    victims serve *each other* from their surviving logs.  ML victims
+    replay purely locally, so ML supports multiple failures trivially;
+    CCL needs the failed-node responders -- which only exist because CCL
+    writers log their outgoing diffs durably.
+    """
+    from .ml_recovery import MlReplayNode
+    from .ccl_recovery import CclReplayNode
+
+    if protocol not in ("ml", "ccl"):
+        raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
+    if len(set(failed_nodes)) != len(failed_nodes) or not failed_nodes:
+        raise RecoveryError(f"bad failed-node set: {failed_nodes}")
+    config = config or ClusterConfig.ultra5()
+    if len(failed_nodes) >= config.num_nodes:
+        raise RecoveryError("at least one node must survive")
+
+    # ---------------- phase A: failure-free run with one probe each ----
+    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
+    probes = {f: CrashProbe(f) for f in failed_nodes}
+    for probe in probes.values():
+        system_a.add_probe(probe)
+    result_a = system_a.run()
+    snapshots: Dict[int, FailureSnapshot] = {}
+    for f, probe in probes.items():
+        if probe.snapshot is None:
+            raise RecoveryError(f"node {f} never sealed an interval")
+        snapshots[f] = probe.snapshot
+
+    # ---------------- phase B: concurrent replays ----------------------
+    sim_b = Simulator()
+    net_b = Network(sim_b, config.network, config.num_nodes)
+    disks_b = [
+        Disk(sim_b, config.disk, f"rdisk{i}") for i in range(config.num_nodes)
+    ]
+    ckpt_image = LocalMemory(system_a.space)
+    responders: Dict[int, SurvivorResponder] = {}
+    for node in system_a.nodes:
+        if node.id in snapshots:
+            responders[node.id] = FailedNodeResponder(
+                node, ckpt_image, getattr(node.hooks, "log")
+            )
+        else:
+            responders[node.id] = SurvivorResponder(node, ckpt_image)
+
+    node_cls = MlReplayNode if protocol == "ml" else CclReplayNode
+    replays: Dict[int, ReplayNode] = {}
+    for f in failed_nodes:
+        peer_responders = {i: r for i, r in responders.items() if i != f}
+        replays[f] = node_cls(
+            sim_b,
+            net_b,
+            disks_b[f],
+            config,
+            system_a.space,
+            system_a.homes,
+            f,
+            getattr(system_a.nodes[f].hooks, "log"),
+            snapshots[f].seal_count,
+            peer_responders,
+        )
+
+    responder_procs = [
+        sim_b.spawn(r.loop(net_b, disks_b[r.id]), name=f"responder{r.id}")
+        for r in responders.values()
+    ]
+
+    def replay_main(f: int) -> Generator[Any, Any, None]:
+        yield from replays[f].start()
+        dsm = Dsm(replays[f], f, config.num_nodes)
+        yield from app.program(dsm)
+
+    mains = {f: sim_b.spawn(replay_main(f), name=f"replay{f}") for f in failed_nodes}
+
+    def controller() -> Generator[Any, Any, None]:
+        from ..sim.events import AllOf as _AllOf
+
+        yield _AllOf([replays[f].done for f in failed_nodes])
+        for proc in mains.values():
+            proc.kill()
+        for proc in responder_procs:
+            proc.kill()
+
+    sim_b.spawn(controller(), name="multi-recovery-controller")
+    sim_b.run()
+
+    recovery_times: Dict[int, float] = {}
+    mismatches: Dict[int, List[str]] = {}
+    for f in failed_nodes:
+        if not replays[f].done.triggered:
+            raise RecoveryError(f"victim {f} never reached its crash point")
+        recovery_times[f] = float(replays[f].done.value)
+        mismatches[f] = (
+            compare_state(replays[f], snapshots[f], config.page_size)
+            if verify
+            else []
+        )
+    return MultiRecoveryResult(
+        app_name=getattr(app, "name", type(app).__name__),
+        protocol=protocol,
+        failed_nodes=tuple(failed_nodes),
+        at_seals={f: snapshots[f].seal_count for f in failed_nodes},
+        recovery_times=recovery_times,
+        mismatches=mismatches,
+        phase_a=result_a,
+    )

@@ -1,0 +1,244 @@
+"""The stable-storage log: volatile buffer + flush accounting + queries.
+
+A :class:`StableLog` separates three concerns:
+
+* **buffering** -- protocol hooks append typed records to the volatile
+  buffer as coherence events occur;
+* **flushing** -- :meth:`flush_sync` (ML: synchronous, on the caller's
+  critical path) and :meth:`flush_async` (CCL: returns the disk signal
+  so the caller can overlap it with communication) move the buffer to
+  the persistent log while charging the disk model and tallying the
+  flush statistics the paper's Table 2 reports;
+* **querying** -- recovery reads records back by bundle index, window
+  tag, and type, and looks up a writer's logged diffs by
+  ``(page, interval)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple, Type, TypeVar
+
+from ..errors import LoggingProtocolError
+from ..memory.diff import Diff
+from ..dsm.interval import VectorClock
+from ..sim.disk import Disk
+from ..sim.events import Signal
+from .logrecords import LogRecord, OwnDiffLogRecord
+
+__all__ = ["StableLog"]
+
+R = TypeVar("R", bound=LogRecord)
+
+
+class StableLog:
+    """One node's log of coherence-recovery data."""
+
+    def __init__(self, disk: Disk):
+        self.disk = disk
+        self._volatile: List[LogRecord] = []
+        self._persistent: List[LogRecord] = []
+        #: interval -> persistent records, so replay's per-interval
+        #: queries stay O(bundle) instead of O(log) (long runs replay
+        #: tens of thousands of intervals).
+        self._by_interval: dict[int, List[LogRecord]] = {}
+        #: vt_index -> own-diff records, for O(1) writer-side diff lookups.
+        self._own_by_vtidx: dict[int, List[OwnDiffLogRecord]] = {}
+        self.num_flushes = 0
+        self.bytes_flushed = 0
+        self.volatile_peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    # buffering
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> None:
+        """Buffer a record in volatile memory."""
+        self._volatile.append(record)
+        vb = self.volatile_bytes
+        if vb > self.volatile_peak_bytes:
+            self.volatile_peak_bytes = vb
+
+    @property
+    def volatile_bytes(self) -> int:
+        """Bytes currently awaiting a flush."""
+        return sum(r.nbytes for r in self._volatile)
+
+    @property
+    def persistent_records(self) -> List[LogRecord]:
+        """All flushed records, in append order."""
+        return self._persistent
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def flush_sync(self) -> Generator[Any, Any, float]:
+        """Write the volatile buffer to disk, blocking the caller.
+
+        Returns the seconds spent waiting (0.0 when the buffer was
+        empty, in which case no disk operation is issued).
+        """
+        nbytes = self.volatile_bytes
+        if nbytes == 0:
+            return 0.0
+        sig = self._begin_flush(nbytes)
+        t0 = self.disk.sim.now
+        yield sig
+        return self.disk.sim.now - t0
+
+    def flush_async(self) -> Optional[Signal]:
+        """Issue the flush and return its completion signal (or None).
+
+        Records become queryable immediately; durability timing is the
+        signal.  This is the primitive CCL overlaps with the diff-flush
+        round trip.
+        """
+        nbytes = self.volatile_bytes
+        if nbytes == 0:
+            return None
+        return self._begin_flush(nbytes)
+
+    def force_seal(self) -> int:
+        """Move the volatile buffer to the persistent log with no disk cost.
+
+        Used only by the failure injector to model the paper's crash
+        point -- "a certain time after the volatile logs of this
+        interval are flushed" -- at which any just-arrived update events
+        have also reached the disk.  Returns the number of records moved.
+        """
+        n = len(self._volatile)
+        self._retire(self._volatile)
+        return n
+
+    def _retire(self, records: List[LogRecord]) -> None:
+        self._persistent.extend(records)
+        for r in records:
+            self._by_interval.setdefault(r.interval, []).append(r)
+            if isinstance(r, OwnDiffLogRecord):
+                self._own_by_vtidx.setdefault(r.vt_index, []).append(r)
+        if records is self._volatile:
+            self._volatile = []
+        else:  # pragma: no cover - defensive
+            self._volatile.clear()
+
+    def _begin_flush(self, nbytes: int) -> Signal:
+        self.num_flushes += 1
+        self.bytes_flushed += nbytes
+        self._retire(self._volatile)
+        return self.disk.write(nbytes)
+
+    # ------------------------------------------------------------------
+    # recovery queries (operate on the persistent log)
+    # ------------------------------------------------------------------
+    def bundle(self, interval: int) -> List[LogRecord]:
+        """All persistent records of one bundle, in append order."""
+        return list(self._by_interval.get(interval, []))
+
+    def bundle_bytes(self, interval: int) -> int:
+        """Encoded size of one bundle (the batched recovery read)."""
+        return sum(r.nbytes for r in self.bundle(interval))
+
+    def select(
+        self,
+        rtype: Type[R],
+        interval: Optional[int] = None,
+        window: Optional[int] = None,
+    ) -> List[R]:
+        """Persistent records of a given type, optionally filtered."""
+        pool = (
+            self._by_interval.get(interval, [])
+            if interval is not None
+            else self._persistent
+        )
+        out: List[R] = []
+        for r in pool:
+            if not isinstance(r, rtype):
+                continue
+            if window is not None and r.window != window:
+                continue
+            out.append(r)
+        return out
+
+    def find_own_diff(
+        self, page: int, vt_index: int, part: int = 0
+    ) -> Tuple[Diff, VectorClock]:
+        """Look up the diff this node logged for ``(page, interval, part)``.
+
+        Serves :class:`~repro.dsm.messages.LogDiffRequest` during a
+        peer's recovery.  Raises if the entry is absent, which would
+        indicate a protocol bug (update events always reference diffs
+        their writers logged before the event became observable).
+        """
+        for r in self._own_by_vtidx.get(vt_index, []):
+            found = r.find(page, part)
+            if found is not None:
+                d, vt = found
+                assert vt is not None
+                return d, vt
+        raise LoggingProtocolError(
+            f"no logged diff for page {page} at writer interval "
+            f"{vt_index} part {part}"
+        )
+
+    def find_own_diffs_in_range(
+        self, page: int, lo_index: int, hi_index: int
+    ) -> List[Tuple[Diff, int, int, VectorClock]]:
+        """All logged diffs for ``page`` with vt index in [lo, hi].
+
+        Returns ``(diff, vt_index, part, vt)`` tuples across end-of-
+        interval, home-write, and early flushes.  Used by delta
+        reconstruction's per-writer range queries; an empty result is
+        legal (the writer may not have touched the page in that span).
+        """
+        out: List[Tuple[Diff, int, int, VectorClock]] = []
+        for idx in range(lo_index, hi_index + 1):
+            for r in self._own_by_vtidx.get(idx, []):
+                assert r.vt is not None
+                for d in r.diffs:
+                    if d.page == page:
+                        out.append((d, r.vt_index, 0, r.vt))
+                for d in r.home_diffs:
+                    if d.page == page:
+                        out.append((d, r.vt_index, 0, r.vt))
+                for part, d, evt in r.early:
+                    if d.page == page:
+                        out.append((d, r.vt_index, part, evt))
+        return out
+
+    def home_diff_history(self, page: int) -> List[Tuple[int, int]]:
+        """All ``(vt_index, part)`` home-write diffs logged for ``page``.
+
+        Lets a *failed* home's recovery responder enumerate its own
+        modifications to a page from the log alone (its in-memory
+        update-event history died with it).
+        """
+        out: List[Tuple[int, int]] = []
+        for r in self._persistent:
+            if isinstance(r, OwnDiffLogRecord):
+                for d in r.home_diffs:
+                    if d.page == page:
+                        out.append((r.vt_index, 0))
+        return out
+
+    def event_history(self, page: int) -> List[Tuple[int, int, int]]:
+        """All ``(writer, vt_index, part)`` update events logged for ``page``.
+
+        The log-derived replacement for a failed home's in-memory
+        ``home_events`` table; entries carry no vector timestamps (event
+        records are 12 bytes), so requesters must filter fetched diffs
+        against their needed version client-side.
+        """
+        from .logrecords import UpdateEventLogRecord
+
+        out: List[Tuple[int, int, int]] = []
+        for r in self._persistent:
+            if isinstance(r, UpdateEventLogRecord) and page in r.pages:
+                out.append((r.writer, r.writer_index, r.part))
+        return out
+
+    def summary(self) -> dict:
+        """Flush statistics for the harness (Table 2 inputs)."""
+        return {
+            "flushes": self.num_flushes,
+            "bytes_flushed": self.bytes_flushed,
+            "records": len(self._persistent) + len(self._volatile),
+            "volatile_peak_bytes": self.volatile_peak_bytes,
+        }

@@ -1,0 +1,106 @@
+"""The application-facing DSM handle.
+
+Application programs are SPMD generators ``program(dsm)`` receiving one
+:class:`Dsm` per rank.  Shared data is declared up front on the
+:class:`~repro.memory.addrspace.SharedAddressSpace`; at run time the
+handle exposes NumPy views plus *access annotations* that stand in for
+the virtual-memory traps of a real SDSM:
+
+* ``yield from dsm.read(name, lo, hi)`` -- make flat elements
+  ``[lo, hi)`` readable (fault in invalid pages);
+* ``yield from dsm.write(name, lo, hi)`` -- make them writable (fetch +
+  twin as needed, mark pages dirty);
+* then operate on ``dsm.arr(name)`` directly with NumPy.
+
+Synchronisation (``acquire``/``release``/``barrier``) and compute-cost
+charging (``compute``) round out the API.  The same handle works
+unchanged over a normal HLRC node and a recovery-mode replay node, which
+is what lets recovery re-execute unmodified application code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable
+
+import numpy as np
+
+from ..errors import ApplicationError
+from ..memory import SharedArray
+
+__all__ = ["Dsm"]
+
+
+class Dsm:
+    """Per-rank facade over a protocol node."""
+
+    def __init__(self, node: Any, rank: int, nprocs: int):
+        self._node = node
+        self.rank = rank
+        self.nprocs = nprocs
+        self._arrays: Dict[str, SharedArray] = {}
+        for var in node.memory.space.variables:
+            self._arrays[var.name] = SharedArray(node.memory, var)
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def arr(self, name: str) -> np.ndarray:
+        """The local NumPy view of a shared variable."""
+        return self._shared(name).array
+
+    def read(self, name: str, lo: int = 0, hi: int | None = None
+             ) -> Generator[Any, Any, None]:
+        """Annotate a read of flat elements ``[lo, hi)`` of ``name``."""
+        sa = self._shared(name)
+        hi = sa.flat_size if hi is None else hi
+        yield from self._node.ensure_read(sa.pages_for_elements(lo, hi))
+
+    def write(self, name: str, lo: int = 0, hi: int | None = None
+              ) -> Generator[Any, Any, None]:
+        """Annotate a write of flat elements ``[lo, hi)`` of ``name``."""
+        sa = self._shared(name)
+        hi = sa.flat_size if hi is None else hi
+        yield from self._node.ensure_write(sa.pages_for_elements(lo, hi))
+
+    def read_pages(self, pages: Iterable[int]) -> Generator[Any, Any, None]:
+        """Page-level read annotation (for tests and custom layouts)."""
+        yield from self._node.ensure_read(pages)
+
+    def write_pages(self, pages: Iterable[int]) -> Generator[Any, Any, None]:
+        """Page-level write annotation (for tests and custom layouts)."""
+        yield from self._node.ensure_write(pages)
+
+    def pages_of(self, name: str, lo: int = 0, hi: int | None = None) -> range:
+        """Pages covering flat elements ``[lo, hi)`` of ``name``."""
+        sa = self._shared(name)
+        hi = sa.flat_size if hi is None else hi
+        return sa.pages_for_elements(lo, hi)
+
+    # ------------------------------------------------------------------
+    # synchronisation and time
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Acquire a global lock (blocking)."""
+        yield from self._node.acquire(lock_id)
+
+    def release(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Release a global lock (closes the current interval)."""
+        yield from self._node.release(lock_id)
+
+    def barrier(self, barrier_id: int = 0) -> Generator[Any, Any, None]:
+        """Global barrier (closes the current interval)."""
+        yield from self._node.barrier(barrier_id)
+
+    def compute(self, flops: float) -> Generator[Any, Any, None]:
+        """Charge application compute work to the simulated clock."""
+        yield from self._node.compute(flops)
+
+    # ------------------------------------------------------------------
+    def _shared(self, name: str) -> SharedArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ApplicationError(f"unknown shared variable {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Dsm rank={self.rank}/{self.nprocs}>"

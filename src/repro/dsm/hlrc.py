@@ -1,0 +1,696 @@
+"""Home-based lazy release consistency (HLRC).
+
+One :class:`HlrcNode` per simulated workstation.  The node owns the
+local memory image, page table, interval/vector-clock state, and the
+protocol endpoints:
+
+* a **server loop** (spawned by the system) that fields asynchronous
+  requests -- page fetches, incoming diff batches, lock and barrier
+  management traffic;
+* **application-facing operations** (``acquire``, ``release``,
+  ``barrier``, ``ensure_read``, ``ensure_write``, ``compute``) written
+  as generators that the application's simulated process drives with
+  ``yield from``.
+
+Protocol summary (paper Section 2): writers flush word-level diffs of
+their dirty non-home pages to each page's home at every release/barrier
+and wait for acknowledgements; write-invalidation notices travel with
+lock grants and barrier releases and invalidate remote copies; a fault
+on an invalid page costs one round trip to the home, which always holds
+an up-to-date copy.  Multiple writers of one page are merged at the home
+(data-race-free programs touch disjoint words).
+
+A pluggable :class:`~repro.dsm.logginghooks.LoggingHooks` instance
+observes every coherence event; the logging protocols of the paper are
+implemented purely in terms of those hooks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..memory import LocalMemory, PageState, PageTable, create_diff, apply_diff
+from ..memory.diff import Diff
+from ..sim.events import AllOf, Signal, Timeout
+from ..sim.network import NetMessage
+from ..sim.stats import NodeStats
+from .barrier import BarrierState
+from .interval import IntervalRecord, IntervalTable, VectorClock
+from .locks import LockState
+from .logginghooks import LoggingHooks, NoLogging
+from .messages import (
+    BarrierCheckin,
+    BarrierRelease,
+    DiffAck,
+    DiffBatch,
+    LockGrant,
+    LockRelease,
+    LockRequest,
+    PageRequest,
+    PageReply,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .system import DsmSystem
+
+__all__ = ["HlrcNode"]
+
+#: Callback signature for the failure-point probe:
+#: ``probe(node, seal_count)`` fires right after a node seals (flushes)
+#: the log bundle of a completed interval -- the paper's crash point.
+ProbeFn = Callable[["HlrcNode", int], None]
+
+
+class HlrcNode:
+    """One cluster node running the HLRC protocol."""
+
+    #: Message kinds this node's server loop consumes.  The explicit
+    #: whitelist lets other services (heartbeat responders, recovery
+    #: responders) share the node's mailbox without message theft.
+    SERVER_KINDS = frozenset(
+        {
+            "page_req",
+            "diff",
+            "lock_req",
+            "lock_rel",
+            "barrier_checkin",
+            "page_reply",
+            "diff_ack",
+            "lock_grant",
+            "barrier_release",
+        }
+    )
+
+    def __init__(
+        self,
+        system: "DsmSystem",
+        node_id: int,
+        hooks: Optional[LoggingHooks] = None,
+    ):
+        self.system = system
+        self.id = node_id
+        self.cfg = system.config
+        self.sim = system.sim
+        self.net = system.network
+        self.disk = system.disks[node_id]
+        self.memory = LocalMemory(system.space)
+        self.pagetable = PageTable(node_id, system.space.npages, system.homes)
+        self.stats = NodeStats(node_id)
+        self.hooks = hooks or NoLogging()
+        self.hooks.bind(self)
+
+        n = self.cfg.num_nodes
+        #: Applied vector timestamp (invalidations reflected in the page table).
+        self.vt = VectorClock.zero(n)
+        #: All interval records this node knows about.
+        self.table = IntervalTable()
+        #: Local bundle counter: increments at every release/barrier.
+        self.interval_index = 0
+        #: Acquires completed within the current interval (log-window tag).
+        self.acq_seq = 0
+        #: Interval-ending sync operations completed (failure-point index).
+        self.seal_count = 0
+        #: Early diff flushes performed within the current interval.
+        self.interval_parts = 0
+        #: Barriers this node has completed (barrier episode number).
+        self.barrier_episode = 0
+
+        #: Per-home-page update history:
+        #: page -> [(writer, vt_index, part, vt)].
+        self.home_events: Dict[int, List[Tuple[int, int, int, VectorClock]]] = {}
+        for p in self.pagetable.home_pages():
+            self.pagetable.entry(p).version = VectorClock.zero(n)
+            self.home_events[p] = []
+
+        #: Under-approximation of what each peer's interval table covers
+        #: (used to filter records piggybacked on releases/check-ins).
+        self.peer_known_vt: Dict[int, VectorClock] = {
+            i: VectorClock.zero(n) for i in range(n)
+        }
+
+        # manager state (populated lazily; every node can manage locks)
+        self.lock_states: Dict[int, LockState] = {}
+        self.barrier_state = BarrierState(n) if node_id == 0 else None
+
+        #: Reply-routing registry: (kind, key) -> Signal for the main process.
+        self._expected: Dict[Tuple[str, Any], Signal] = {}
+        #: Failure-point probes (set by the harness / failure injector).
+        self.probes: List[ProbeFn] = []
+        #: Optional periodic checkpointer (set by the harness).
+        self.checkpointer: Optional[Any] = None
+        #: In-flight overlapped log flush (double-buffered logger).
+        self._pending_flush: Optional[Signal] = None
+
+    # ==================================================================
+    # helpers
+    # ==================================================================
+    def lock_manager(self, lock_id: int) -> int:
+        """Static lock-to-manager assignment (``lock_id mod n``)."""
+        return lock_id % self.cfg.num_nodes
+
+    def _lock_state(self, lock_id: int) -> LockState:
+        if self.lock_manager(lock_id) != self.id:
+            raise ProtocolError(f"node {self.id} does not manage lock {lock_id}")
+        return self.lock_states.setdefault(lock_id, LockState(lock_id))
+
+    def _trace(self, event: str, detail: Any = None) -> None:
+        """Record a protocol event on the system tracer (off by default)."""
+        self.system.tracer.record(self.sim.now, self.id, event, detail)
+
+    def expect(self, kind: str, key: Any) -> Signal:
+        """Register interest in one future reply message."""
+        k = (kind, key)
+        if k in self._expected:
+            raise ProtocolError(f"node {self.id}: duplicate expectation {k}")
+        sig = Signal(f"n{self.id}.{kind}.{key}")
+        self._expected[k] = sig
+        return sig
+
+    def _deliver_expected(self, kind: str, key: Any, msg: NetMessage) -> None:
+        sig = self._expected.pop((kind, key), None)
+        if sig is None:
+            raise ProtocolError(
+                f"node {self.id}: unexpected {kind} (key={key!r}) from {msg.src}"
+            )
+        sig.trigger(msg)
+
+    def _send(self, dst: int, kind: str, payload: Any) -> Generator[Any, Any, None]:
+        yield from self.net.send(
+            NetMessage(src=self.id, dst=dst, kind=kind, payload=payload,
+                       size=payload.nbytes)
+        )
+
+    def _post(self, dst: int, kind: str, payload: Any) -> None:
+        """Fire-and-forget send without charging caller CPU (handler path)."""
+        self.net.post(
+            NetMessage(src=self.id, dst=dst, kind=kind, payload=payload,
+                       size=payload.nbytes)
+        )
+
+    # ==================================================================
+    # server loop: asynchronous protocol endpoint
+    # ==================================================================
+    def server_loop(self) -> Generator[Any, Any, None]:
+        """Field incoming protocol messages forever (killed at shutdown)."""
+        mbox = self.net.mailbox(self.id)
+        kinds = self.SERVER_KINDS
+        while True:
+            msg: NetMessage = yield mbox.get(lambda m: m.kind in kinds)
+            yield from self._dispatch(msg)
+
+    def _dispatch(self, msg: NetMessage) -> Generator[Any, Any, None]:
+        kind = msg.kind
+        if kind == "page_req":
+            yield from self._serve_page(msg.payload)
+        elif kind == "diff":
+            yield from self._apply_incoming_diffs(msg.payload)
+        elif kind == "lock_req":
+            yield from self._manage_lock_request(msg.payload)
+        elif kind == "lock_rel":
+            yield from self._manage_lock_release(msg.payload)
+        elif kind == "barrier_checkin":
+            self._manage_barrier_checkin(msg.payload)
+        elif kind == "page_reply":
+            self._deliver_expected(kind, msg.payload.page, msg)
+        elif kind == "diff_ack":
+            self._deliver_expected(kind, msg.payload.home, msg)
+        elif kind == "lock_grant":
+            self._deliver_expected(kind, msg.payload.lock_id, msg)
+        elif kind == "barrier_release":
+            self._deliver_expected(kind, msg.payload.barrier_id, msg)
+        else:
+            raise ProtocolError(f"node {self.id}: unknown message kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _serve_page(self, req: PageRequest) -> Generator[Any, Any, None]:
+        """Home side of a fault: ship the *committed* copy and its version.
+
+        When the home itself holds the page dirty with a twin (the CCL
+        home-write-logging mode), the twin is the committed view: it
+        carries every applied remote diff (see
+        :meth:`_apply_incoming_diffs`) but none of the home's
+        uncommitted in-progress writes.  Serving it keeps every byte a
+        fetcher ever sees attributable to a versioned update, which is
+        what lets recovery reconstruct fetched pages bit-exactly.
+        Without a twin (ML / no logging) the live frame is served, as
+        plain HLRC does; ML recovery is unaffected because it logs the
+        served bytes verbatim.
+        """
+        entry = self.pagetable.entry(req.page)
+        if entry.home != self.id:
+            raise ProtocolError(
+                f"node {self.id} asked to serve page {req.page} homed at {entry.home}"
+            )
+        # copying the page out of the frame costs CPU on the home
+        yield Timeout(self.cfg.cpu.twin_copy_per_byte_s * self.cfg.page_size)
+        source = entry.twin if entry.twin is not None else self.memory.page_bytes(req.page)
+        reply = PageReply(req.page, source.copy(), entry.version)
+        self.stats.count("pages_served")
+        self._post(req.requester, "page_reply", reply)
+
+    def _apply_incoming_diffs(self, batch: DiffBatch) -> Generator[Any, Any, None]:
+        """Asynchronous update handler (paper Figure 2, bottom).
+
+        Applies received diffs to home copies, records the update event,
+        acknowledges, and discards the diffs.
+        """
+        nbytes = sum(d.word_count for d in batch.diffs) * 4
+        yield Timeout(self.cfg.cpu.diff_apply_per_byte_s * nbytes)
+        for d in batch.diffs:
+            entry = self.pagetable.entry(d.page)
+            if entry.home != self.id:
+                raise ProtocolError(
+                    f"diff for page {d.page} sent to non-home node {self.id}"
+                )
+            apply_diff(d, self.memory.page_bytes(d.page))
+            if entry.twin is not None:
+                # keep the committed view current: the twin tracks every
+                # applied remote diff so it can be served to fetchers,
+                # and so the end-of-interval home diff captures only the
+                # home's own words
+                apply_diff(d, entry.twin)
+            entry.version = entry.version.merge(batch.vt)
+            self.home_events[d.page].append(
+                (batch.writer, batch.interval_index, batch.part, batch.vt)
+            )
+            self.stats.count("diffs_applied")
+            self.stats.count("diff_bytes_applied", d.nbytes)
+        self.hooks.on_update_received(batch)
+        self._post(batch.writer, "diff_ack",
+                   DiffAck(batch.writer, batch.interval_index, self.id))
+
+    # ------------------------------------------------------------------
+    # lock management (manager side)
+    # ------------------------------------------------------------------
+    def _grant_records(self, requester_vt: VectorClock) -> List[IntervalRecord]:
+        return self.table.records_not_covered_by(requester_vt)
+
+    def _manage_lock_request(self, req: LockRequest) -> Generator[Any, Any, None]:
+        state = self._lock_state(req.lock_id)
+        if state.try_acquire(req.requester, req.vt):
+            yield from self._hand_lock(state, req.requester, req.vt)
+
+    def _manage_lock_release(self, rel: LockRelease) -> Generator[Any, Any, None]:
+        self.table.add_all(rel.records)
+        state = self._lock_state(rel.lock_id)
+        nxt = state.release(rel.releaser)
+        if nxt is not None:
+            yield from self._hand_lock(state, nxt[0], nxt[1])
+
+    def _hand_lock(
+        self, state: LockState, to: int, requester_vt: VectorClock
+    ) -> Generator[Any, Any, None]:
+        records = self._grant_records(requester_vt)
+        if to == self.id:
+            # the manager itself is acquiring: short-circuit locally
+            sig = self._expected.pop(("local_grant", state.lock_id), None)
+            if sig is None:
+                raise ProtocolError(
+                    f"manager {self.id} granted own lock {state.lock_id} "
+                    "without a local waiter"
+                )
+            sig.trigger(records)
+        else:
+            yield from self._send(to, "lock_grant", LockGrant(state.lock_id, records))
+
+    # ------------------------------------------------------------------
+    # barrier management (manager side)
+    # ------------------------------------------------------------------
+    def _manage_barrier_checkin(self, msg: BarrierCheckin) -> None:
+        if self.barrier_state is None:
+            raise ProtocolError(f"node {self.id} is not the barrier manager")
+        self.table.add_all(msg.records)
+        self.barrier_state.checkin(msg.node, msg.vt, msg.episode)
+
+    # ==================================================================
+    # application-facing operations (run on the app's simulated process)
+    # ==================================================================
+    def compute(self, flops: float) -> Generator[Any, Any, None]:
+        """Charge ``flops`` of application work to the virtual clock."""
+        dt = self.cfg.cpu.compute_time(flops)
+        self.stats.charge("compute", dt)
+        yield Timeout(dt)
+
+    def idle(self, seconds: float) -> Generator[Any, Any, None]:
+        """Charge raw wall time (I/O-ish application phases)."""
+        self.stats.charge("compute", seconds)
+        yield Timeout(seconds)
+
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Lock acquire: fetch ownership + apply piggybacked notices."""
+        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        if self.hooks.flush_at_sync_entry:
+            yield from self.hooks.sync_entry_flush()
+        t0 = self.sim.now
+        mgr = self.lock_manager(lock_id)
+        if mgr == self.id:
+            records = yield from self._acquire_local(lock_id)
+        else:
+            sig = self.expect("lock_grant", lock_id)
+            yield from self._send(mgr, "lock_req",
+                                  LockRequest(lock_id, self.id, self.vt))
+            msg = yield sig
+            records = msg.payload.records
+            known = self.peer_known_vt[mgr]
+            for r in records:
+                known = known.merge(r.vt)
+            self.peer_known_vt[mgr] = known
+        self.stats.charge("sync", self.sim.now - t0)
+        self.stats.count("lock_acquires")
+        self._trace("acquire", lock_id)
+        yield from self._apply_notices(records)
+        self.acq_seq += 1
+        self.hooks.on_notices_received(records, self.acq_seq)
+
+    def _acquire_local(self, lock_id: int) -> Generator[Any, Any, List[IntervalRecord]]:
+        state = self._lock_state(lock_id)
+        if state.try_acquire(self.id, self.vt):
+            return self._grant_records(self.vt)
+        sig = self.expect("local_grant", lock_id)
+        records = yield sig
+        return records
+
+    # ------------------------------------------------------------------
+    def release(self, lock_id: int) -> Generator[Any, Any, None]:
+        """Lock release: close the interval, flush diffs + log, hand off."""
+        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        if self.hooks.flush_at_sync_entry:
+            yield from self.hooks.sync_entry_flush()
+        yield from self._end_interval()
+        self._fire_probes()
+        mgr = self.lock_manager(lock_id)
+        if mgr == self.id:
+            rel = LockRelease(lock_id, self.id, [])
+            yield from self._manage_lock_release(rel)
+        else:
+            records = self.table.records_not_covered_by(self.peer_known_vt[mgr])
+            yield from self._send(mgr, "lock_rel",
+                                  LockRelease(lock_id, self.id, records))
+            self.peer_known_vt[mgr] = self.peer_known_vt[mgr].merge(self.vt)
+        self.stats.count("lock_releases")
+        self._trace("release", lock_id)
+
+    # ------------------------------------------------------------------
+    def barrier(self, barrier_id: int = 0) -> Generator[Any, Any, None]:
+        """Barrier: close the interval, then all-to-all notice exchange."""
+        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        if self.hooks.flush_at_sync_entry:
+            yield from self.hooks.sync_entry_flush()
+        yield from self._end_interval()
+        self._fire_probes()
+        t0 = self.sim.now
+        if self.id == 0:
+            yield from self._barrier_as_manager(barrier_id)
+        else:
+            yield from self._barrier_as_worker(barrier_id)
+        self.stats.charge("sync", self.sim.now - t0)
+        self.stats.count("barriers")
+        self._trace("barrier", barrier_id)
+        # after a barrier every node's history covers the global cut, so
+        # interval records at or below it can never be requested again
+        pruned = self.table.prune_covered_by(self.vt)
+        if pruned:
+            self.stats.count("records_pruned", pruned)
+        if self.checkpointer is not None:
+            yield from self.checkpointer.maybe_take_barrier(self)
+
+    def _barrier_as_worker(self, barrier_id: int) -> Generator[Any, Any, None]:
+        mgr = 0
+        records = self.table.records_not_covered_by(self.peer_known_vt[mgr])
+        sig = self.expect("barrier_release", barrier_id)
+        yield from self._send(
+            mgr, "barrier_checkin",
+            BarrierCheckin(barrier_id, self.id, self.barrier_episode,
+                           self.vt, records),
+        )
+        msg = yield sig
+        self.barrier_episode += 1
+        yield from self._apply_notices(msg.payload.records)
+        self.hooks.on_notices_received(msg.payload.records, 0)
+        # after a barrier everyone's history is global: the manager covers it
+        self.peer_known_vt[mgr] = self.vt
+
+    def _barrier_as_manager(self, barrier_id: int) -> Generator[Any, Any, None]:
+        assert self.barrier_state is not None
+        all_in = self.barrier_state.checkin(self.id, self.vt, self.barrier_episode)
+        self.barrier_episode += 1
+        yield all_in
+        participants = self.barrier_state.participant_vts()
+        for node, vt in participants:
+            if node == self.id:
+                continue
+            records = self.table.records_not_covered_by(vt)
+            yield from self._send(node, "barrier_release",
+                                  BarrierRelease(barrier_id, records))
+        own = self.table.records_not_covered_by(self.vt)
+        yield from self._apply_notices(own)
+        self.hooks.on_notices_received(own, 0)
+        for node, _vt in participants:
+            self.peer_known_vt[node] = self.peer_known_vt[node].merge(self.vt)
+        self.barrier_state.next_episode()
+
+    # ------------------------------------------------------------------
+    def _apply_notices(
+        self, records: List[IntervalRecord]
+    ) -> Generator[Any, Any, None]:
+        """Invalidate remote copies named by uncovered interval records.
+
+        A noticed page the node currently holds *dirty* (possible under
+        false sharing, when the notice travels a lock chain mid-interval)
+        is diffed to its home first -- the "early diff flush" of
+        TreadMarks-style protocols -- so local modifications survive the
+        invalidation.
+        """
+        to_invalidate: List[int] = []
+        seen: set[int] = set()
+        for r in records:
+            if self.vt.covers_interval(r.node, r.index):
+                continue
+            self.table.add(r)
+            if r.node != self.id:
+                for p in r.pages:
+                    if p in seen:
+                        continue
+                    entry = self.pagetable.entry(p)
+                    if entry.home == self.id:
+                        continue  # home copies are always valid
+                    if entry.state is PageState.INVALID:
+                        continue
+                    if entry.version is not None and entry.version.dominates(r.vt):
+                        continue  # copy already includes these updates
+                    seen.add(p)
+                    to_invalidate.append(p)
+            self.vt = self.vt.merge(r.vt)
+        dirty_hit = [
+            p
+            for p in to_invalidate
+            if self.pagetable.entry(p).state is PageState.DIRTY
+        ]
+        if dirty_hit:
+            yield from self._early_diff_flush(dirty_hit)
+        for p in to_invalidate:
+            self.pagetable.invalidate(p)
+            self.stats.count("invalidations")
+
+    def _early_diff_flush(self, pages: List[int]) -> Generator[Any, Any, None]:
+        """Diff dirty pages to their homes before invalidating them."""
+        cpu = self.cfg.cpu
+        by_home: Dict[int, List[Diff]] = {}
+        scan_cost = 0.0
+        early_vt = self.vt.tick(self.id)
+        vt_index = self.vt[self.id]
+        part = self.interval_parts + 1
+        for p in pages:
+            entry = self.pagetable.entry(p)
+            scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
+            d = create_diff(p, entry.twin, self.memory.page_bytes(p))
+            self.pagetable.drop_twin(p)
+            if d.is_empty:
+                continue
+            by_home.setdefault(entry.home, []).append(d)
+            self.hooks.on_early_diff(d, part, early_vt)
+            self.stats.count("early_diffs")
+            self.stats.count("diff_bytes_sent", d.nbytes)
+        if scan_cost:
+            self.stats.charge("diff", scan_cost)
+            yield Timeout(scan_cost)
+        if not by_home:
+            return
+        self.interval_parts = part
+        ack_sigs: List[Signal] = []
+        for home, diffs in sorted(by_home.items()):
+            batch = DiffBatch(self.id, vt_index, early_vt, diffs, part=part)
+            ack_sigs.append(self.expect("diff_ack", home))
+            yield from self._send(home, "diff", batch)
+        t0 = self.sim.now
+        yield AllOf(ack_sigs)
+        self.stats.charge("diff_wait", self.sim.now - t0)
+
+    # ------------------------------------------------------------------
+    def _end_interval(self) -> Generator[Any, Any, None]:
+        """Close the current interval (paper Figures 2-3, failure-free path).
+
+        Creates diffs for dirty pages, flushes them to their homes, lets
+        the logging protocol flush overlapped with the ACK wait, and
+        advances the interval/bundle counters.
+        """
+        cpu = self.cfg.cpu
+        dirty = self.pagetable.take_dirty()
+        remote_diffs: List[Diff] = []
+        home_diffs: List[Diff] = []
+        new_vt: Optional[VectorClock] = None
+        record: Optional[IntervalRecord] = None
+
+        if dirty:
+            vt_index = self.vt[self.id]
+            new_vt = self.vt.tick(self.id)
+            scan_cost = 0.0
+            for p in dirty:
+                entry = self.pagetable.entry(p)
+                if entry.home == self.id:
+                    if entry.twin is not None:  # home-write logging (CCL)
+                        scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
+                        d = create_diff(p, entry.twin, self.memory.page_bytes(p))
+                        self.pagetable.drop_twin(p)
+                        if not d.is_empty:
+                            home_diffs.append(d)
+                            # record the self-update only when a logged
+                            # diff backs it, so reconstruction histories
+                            # never reference content-free writes
+                            self.home_events[p].append(
+                                (self.id, vt_index, 0, new_vt)
+                            )
+                    else:
+                        self.home_events[p].append((self.id, vt_index, 0, new_vt))
+                    entry.version = entry.version.merge(new_vt)
+                elif entry.state is PageState.INVALID:
+                    # the page was early-flushed (diffed + invalidated by
+                    # a mid-interval notice) and not touched since; its
+                    # modifications are already at the home
+                    continue
+                else:
+                    if entry.twin is None:
+                        raise ProtocolError(
+                            f"dirty remote page {p} has no twin on node {self.id}"
+                        )
+                    scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
+                    d = create_diff(p, entry.twin, self.memory.page_bytes(p))
+                    self.pagetable.drop_twin(p)
+                    entry.state = PageState.CLEAN
+                    entry.version = entry.version.merge(new_vt) if entry.version else new_vt
+                    if not d.is_empty:
+                        remote_diffs.append(d)
+            if scan_cost:
+                self.stats.charge("diff", scan_cost)
+                yield Timeout(scan_cost)
+            record = IntervalRecord(self.id, vt_index, new_vt, tuple(dirty))
+            self.stats.count("diffs_created", len(remote_diffs))
+            self.stats.count(
+                "diff_bytes_sent", sum(d.nbytes for d in remote_diffs)
+            )
+
+        # let the logging protocol capture the interval before anything
+        # is sent (CCL logs its own diffs; ML has nothing to do here)
+        self.hooks.on_interval_end(
+            self.interval_index,
+            new_vt if new_vt is not None else self.vt,
+            remote_diffs,
+            home_diffs,
+            record,
+        )
+
+        # flush diffs to the homes of the written pages
+        ack_sigs: List[Signal] = []
+        if remote_diffs:
+            by_home: Dict[int, List[Diff]] = {}
+            for d in remote_diffs:
+                by_home.setdefault(self.pagetable.entry(d.page).home, []).append(d)
+            assert new_vt is not None and record is not None
+            for home, diffs in sorted(by_home.items()):
+                batch = DiffBatch(self.id, record.index, new_vt, diffs)
+                ack_sigs.append(self.expect("diff_ack", home))
+                yield from self._send(home, "diff", batch)
+
+        # Double-buffered logging: one flush may be in flight.  If the
+        # previous interval's flush has not yet drained, the disk is the
+        # bottleneck and we absorb the backpressure here; otherwise the
+        # flush below proceeds entirely in the shadow of the ACK wait
+        # and the ensuing synchronisation (paper Figures 2-3: the node
+        # waits for acknowledgements, never for its own disk).
+        if self._pending_flush is not None and not self._pending_flush.triggered:
+            t1 = self.sim.now
+            yield self._pending_flush
+            self.stats.charge("log_flush", self.sim.now - t1)
+        self._pending_flush = self.hooks.overlapped_flush()
+
+        if ack_sigs:
+            t0 = self.sim.now
+            yield AllOf(ack_sigs)
+            self.stats.charge("diff_wait", self.sim.now - t0)
+
+        if record is not None:
+            assert new_vt is not None
+            self.table.add(record)
+            self.vt = new_vt
+        self._trace("seal", self.interval_index)
+        self.interval_index += 1
+        self.acq_seq = 0
+        self.interval_parts = 0
+        self.seal_count += 1
+        if self.checkpointer is not None:
+            yield from self.checkpointer.maybe_take(self)
+
+    def _fire_probes(self) -> None:
+        for probe in self.probes:
+            probe(self, self.seal_count)
+
+    # ==================================================================
+    # page access (explicit annotations standing in for VM traps)
+    # ==================================================================
+    def ensure_read(self, pages) -> Generator[Any, Any, None]:
+        """Make every page readable, faulting in invalid ones."""
+        for p in pages:
+            entry = self.pagetable.entry(p)
+            if entry.state is PageState.INVALID and entry.home != self.id:
+                yield from self._fault_fetch(p)
+
+    def ensure_write(self, pages) -> Generator[Any, Any, None]:
+        """Make every page writable: fetch if invalid, twin on first write."""
+        cpu = self.cfg.cpu
+        for p in pages:
+            entry = self.pagetable.entry(p)
+            if entry.home == self.id:
+                if self.hooks.wants_home_diffs and entry.twin is None:
+                    yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
+                    self.pagetable.make_twin(p, self.memory.page_bytes(p))
+                self.pagetable.mark_dirty(p)
+                continue
+            if entry.state is PageState.INVALID:
+                yield from self._fault_fetch(p)
+            if entry.state is PageState.CLEAN:
+                yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
+                self.pagetable.make_twin(p, self.memory.page_bytes(p))
+                entry.state = PageState.DIRTY
+            self.pagetable.mark_dirty(p)
+
+    def _fault_fetch(self, page: int) -> Generator[Any, Any, None]:
+        """One page-fault round trip to the home node."""
+        t0 = self.sim.now
+        yield Timeout(self.cfg.cpu.page_fault_s)
+        entry = self.pagetable.entry(page)
+        sig = self.expect("page_reply", page)
+        yield from self._send(entry.home, "page_req", PageRequest(page, self.id))
+        msg = yield sig
+        reply: PageReply = msg.payload
+        self.memory.page_bytes(page)[:] = reply.contents
+        entry.state = PageState.CLEAN
+        entry.version = reply.version
+        self.stats.count("page_faults")
+        self.stats.count("page_bytes_fetched", len(reply.contents))
+        self.stats.charge("fault", self.sim.now - t0)
+        self._trace("fault", page)
+        self.hooks.on_page_fetched(page, reply.contents, reply.version, self.acq_seq)

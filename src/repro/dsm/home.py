@@ -1,0 +1,80 @@
+"""Home-node assignment policies.
+
+Home-based LRC designates one node per page as the repository of
+updates.  Assignment strongly affects traffic: when the home of a page
+is also its primary writer, releases produce no diffs for it.  The
+paper's TreadMarks modification uses static assignment; we provide the
+standard policies plus an explicit map for applications that align
+homes with their data partition (as real HLRC applications do).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "HomePolicy",
+    "round_robin_homes",
+    "block_homes",
+    "first_page_homes",
+    "explicit_homes",
+]
+
+#: A policy maps (npages, num_nodes) to a per-page home assignment.
+HomePolicy = Callable[[int, int], List[int]]
+
+
+def round_robin_homes(npages: int, num_nodes: int) -> List[int]:
+    """Page ``p`` lives on node ``p mod n`` (TreadMarks' default)."""
+    _check(npages, num_nodes)
+    return [p % num_nodes for p in range(npages)]
+
+
+def block_homes(npages: int, num_nodes: int) -> List[int]:
+    """Contiguous page blocks per node (matches block-distributed arrays)."""
+    _check(npages, num_nodes)
+    per = -(-npages // num_nodes)
+    return [min(p // per, num_nodes - 1) for p in range(npages)]
+
+
+def first_page_homes(npages: int, num_nodes: int) -> List[int]:
+    """Everything homed at node 0 (a pathological baseline for ablations)."""
+    _check(npages, num_nodes)
+    return [0] * npages
+
+
+def explicit_homes(assignment: Sequence[int]) -> HomePolicy:
+    """Wrap a pre-computed per-page assignment as a policy.
+
+    Applications use this to co-locate each page's home with the rank
+    that owns the corresponding array partition.
+    """
+    fixed = list(assignment)
+
+    def policy(npages: int, num_nodes: int) -> List[int]:
+        _check(npages, num_nodes)
+        if len(fixed) != npages:
+            raise ConfigError(
+                f"explicit home map covers {len(fixed)} pages, space has {npages}"
+            )
+        bad = [h for h in fixed if not (0 <= h < num_nodes)]
+        if bad:
+            raise ConfigError(f"home ids out of range: {sorted(set(bad))}")
+        return list(fixed)
+
+    return policy
+
+
+#: Registry used by the harness's ``--home-policy`` style options.
+POLICIES: Dict[str, HomePolicy] = {
+    "round_robin": round_robin_homes,
+    "block": block_homes,
+    "first": first_page_homes,
+}
+
+
+def _check(npages: int, num_nodes: int) -> None:
+    if npages < 0 or num_nodes < 1:
+        raise ConfigError(f"bad home policy arguments: {npages=} {num_nodes=}")

@@ -1,0 +1,238 @@
+"""Intervals, vector timestamps, and write-invalidation notices.
+
+Lazy release consistency partitions each process's execution into
+*intervals* delimited by synchronisation operations.  Ending an interval
+produces an :class:`IntervalRecord`: the writer's id, the interval
+index, a :class:`VectorClock` timestamp capturing the interval's causal
+history, and the list of pages written during the interval (the
+*write-invalidation notices*).
+
+Records propagate along the synchronisation chain: a lock grant or
+barrier release carries every record the recipient has not yet covered,
+and the recipient invalidates its remote copies of the noticed pages.
+The same records are what coherence-centric logging writes to stable
+storage, and what recovery uses to rebuild the failed node's timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = ["VectorClock", "IntervalRecord", "IntervalTable"]
+
+
+class VectorClock:
+    """An immutable vector timestamp over ``n`` nodes.
+
+    Component ``vt[p]`` counts the completed intervals of node ``p``
+    whose effects are covered.  Standard partial order:
+    ``a.dominates(b)`` iff ``a[i] >= b[i]`` for every ``i``.
+    """
+
+    __slots__ = ("_v",)
+
+    def __init__(self, values: Iterable[int]):
+        self._v: Tuple[int, ...] = tuple(int(x) for x in values)
+        if any(x < 0 for x in self._v):
+            raise ProtocolError(f"negative vector clock component: {self._v}")
+
+    @classmethod
+    def zero(cls, n: int) -> "VectorClock":
+        """The origin timestamp for an ``n``-node system."""
+        return cls((0,) * n)
+
+    # ------------------------------------------------------------------
+    def tick(self, node: int) -> "VectorClock":
+        """A copy with component ``node`` incremented (interval completion)."""
+        v = list(self._v)
+        v[node] += 1
+        return VectorClock(v)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (causal join)."""
+        self._check_width(other)
+        return VectorClock(max(a, b) for a, b in zip(self._v, other._v))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff ``self >= other`` component-wise."""
+        self._check_width(other)
+        return all(a >= b for a, b in zip(self._v, other._v))
+
+    def covers_interval(self, node: int, index: int) -> bool:
+        """Whether interval ``index`` of ``node`` is within this history."""
+        return self._v[node] >= index + 1
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, node: int) -> int:
+        return self._v[node]
+
+    def __len__(self) -> int:
+        return len(self._v)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._v == other._v
+
+    def __hash__(self) -> int:
+        return hash(self._v)
+
+    def __repr__(self) -> str:
+        return f"VC{self._v}"
+
+    @property
+    def total(self) -> int:
+        """Sum of components; strictly increases along happens-before."""
+        return sum(self._v)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size (4 bytes per component)."""
+        return 4 * len(self._v)
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The raw component tuple."""
+        return self._v
+
+    def _check_width(self, other: "VectorClock") -> None:
+        if len(self._v) != len(other._v):
+            raise ProtocolError(
+                f"vector clock width mismatch: {len(self._v)} vs {len(other._v)}"
+            )
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One completed interval and its write-invalidation notices."""
+
+    node: int
+    index: int
+    vt: VectorClock
+    #: Pages written during the interval (sorted page ids).
+    pages: Tuple[int, ...]
+
+    #: Encoded bytes for (node, index, page count) metadata.
+    META_BYTES = 12
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded wire/log size: metadata + vector + 4 bytes per notice."""
+        return self.META_BYTES + self.vt.nbytes + 4 * len(self.pages)
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Identity of the interval: ``(node, index)``."""
+        return (self.node, self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IR n{self.node}i{self.index} {self.vt} pages={list(self.pages)}>"
+
+
+class IntervalTable:
+    """A node's store of every interval record it knows about.
+
+    Supports the two queries the protocol needs: "which records does a
+    peer with timestamp ``vt`` lack?" (lock grants, barrier releases)
+    and ordered enumeration for recovery reconstruction.
+
+    Storage is per creating node, indexed by interval number -- each
+    node's interval indices are dense (0, 1, 2, ...), so the uncovered
+    records of node ``q`` for a peer at timestamp ``vt`` are exactly the
+    slice ``[vt[q]:]``.  This keeps the hot grant/check-in query
+    proportional to its *result* size rather than to the table
+    (TreadMarks keeps the same per-node interval lists); long runs would
+    otherwise go quadratic in the number of synchronisations.
+    """
+
+    def __init__(self) -> None:
+        #: node -> records ordered by interval index (possibly with
+        #: trailing gaps filled later; lock-chain delivery is causal, so
+        #: gaps are transient and only ever at the tail).
+        self._by_node: Dict[int, List[Optional[IntervalRecord]]] = {}
+        self._count = 0
+
+    def add(self, record: IntervalRecord) -> bool:
+        """Insert a record; returns False if it was already known."""
+        lst = self._by_node.setdefault(record.node, [])
+        if record.index < len(lst):
+            if lst[record.index] is not None:
+                return False
+            lst[record.index] = record
+        else:
+            while len(lst) < record.index:
+                lst.append(None)
+            lst.append(record)
+        self._count += 1
+        return True
+
+    def add_all(self, records: Iterable[IntervalRecord]) -> int:
+        """Insert many records; returns the number newly added."""
+        return sum(1 for r in records if self.add(r))
+
+    def get(self, node: int, index: int) -> IntervalRecord:
+        """Look up one record (raises if unknown)."""
+        lst = self._by_node.get(node, [])
+        if index < len(lst) and lst[index] is not None:
+            return lst[index]
+        raise ProtocolError(f"unknown interval ({node}, {index})")
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        node, index = key
+        lst = self._by_node.get(node, [])
+        return index < len(lst) and lst[index] is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def records_not_covered_by(self, vt: VectorClock) -> List[IntervalRecord]:
+        """Records outside ``vt``'s history, in causal (vt.total) order.
+
+        Sorting by ``(vt.total, node, index)`` yields a linear extension
+        of happens-before, so recipients can apply notices in a causally
+        safe order.
+        """
+        out: List[IntervalRecord] = []
+        for node, lst in self._by_node.items():
+            start = vt[node] if node < len(vt) else 0
+            for r in lst[start:]:
+                if r is not None:
+                    out.append(r)
+        out.sort(key=lambda r: (r.vt.total, r.node, r.index))
+        return out
+
+    def all_records(self) -> List[IntervalRecord]:
+        """Every known record in causal order."""
+        out = [r for lst in self._by_node.values() for r in lst if r is not None]
+        out.sort(key=lambda r: (r.vt.total, r.node, r.index))
+        return out
+
+    def prune_covered_by(self, vt: VectorClock) -> int:
+        """Drop records covered by ``vt``; returns the number dropped.
+
+        Safe after a barrier: every node's applied timestamp then
+        dominates the barrier cut, so no future grant or check-in can
+        need those records (the slice positions are preserved -- pruned
+        entries become ``None``, keeping interval indices stable).
+        Recovery never consults interval tables (it replays notices from
+        the log), so pruning does not affect recoverability.
+        """
+        dropped = 0
+        for node, lst in self._by_node.items():
+            limit = min(vt[node] if node < len(vt) else 0, len(lst))
+            for i in range(limit):
+                if lst[i] is not None:
+                    lst[i] = None
+                    dropped += 1
+        self._count -= dropped
+        return dropped
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size of all retained records (memory-growth stat)."""
+        return sum(
+            r.nbytes
+            for lst in self._by_node.values()
+            for r in lst
+            if r is not None
+        )

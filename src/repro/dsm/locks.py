@@ -1,0 +1,60 @@
+"""Manager-side lock state.
+
+Each lock is statically assigned a manager node (``lock_id mod n``,
+as in TreadMarks).  The manager serialises ownership: an acquire request
+either receives the lock immediately or queues FIFO; a release hands the
+lock to the queue head.  Grants piggyback the write-invalidation notices
+the requester lacks, which is how lazy release consistency propagates
+coherence information along the lock chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..errors import SynchronizationError
+from .interval import VectorClock
+
+__all__ = ["LockState"]
+
+
+class LockState:
+    """Ownership and wait queue of one lock at its manager."""
+
+    def __init__(self, lock_id: int):
+        self.lock_id = lock_id
+        self.held = False
+        self.holder: Optional[int] = None
+        #: FIFO of ``(requester, requester_vt)`` waiting for the lock.
+        self.queue: Deque[Tuple[int, VectorClock]] = deque()
+        self.grants = 0
+
+    def try_acquire(self, requester: int, vt: VectorClock) -> bool:
+        """Grant immediately if free; otherwise enqueue.  Returns granted?"""
+        if not self.held:
+            self.held = True
+            self.holder = requester
+            self.grants += 1
+            return True
+        self.queue.append((requester, vt))
+        return False
+
+    def release(self, releaser: int) -> Optional[Tuple[int, VectorClock]]:
+        """Release by the holder; returns the next ``(requester, vt)`` if any.
+
+        When a waiter exists the lock stays held and ownership moves to
+        it; the caller is responsible for sending the grant.
+        """
+        if not self.held or self.holder != releaser:
+            raise SynchronizationError(
+                f"lock {self.lock_id}: release by {releaser} but holder is {self.holder}"
+            )
+        if self.queue:
+            nxt, vt = self.queue.popleft()
+            self.holder = nxt
+            self.grants += 1
+            return (nxt, vt)
+        self.held = False
+        self.holder = None
+        return None

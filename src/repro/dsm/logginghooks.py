@@ -1,0 +1,128 @@
+"""The seam between the coherence protocol and logging protocols.
+
+The HLRC engine calls these hooks at every coherence event; a logging
+protocol (NoLogging here, traditional message logging and coherence-
+centric logging in :mod:`repro.core`) decides what to record and when
+to touch stable storage.  Keeping the interface in the DSM layer keeps
+the dependency graph acyclic: the core package builds on the DSM, never
+the other way round.
+
+Flush scheduling is expressed by two knobs:
+
+* :attr:`LoggingHooks.flush_at_sync_entry` -- traditional ML flushes its
+  volatile log synchronously at the *entry* of every synchronisation
+  operation, before any message is sent (the paper's Section 3.1).
+* :meth:`LoggingHooks.overlapped_flush` -- CCL issues its flush right
+  after handing diffs to the network and returns the disk-completion
+  signal; the release then waits for ``max(acks, disk)``, charging only
+  the excess disk time to the critical path (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+import numpy as np
+
+from ..memory.diff import Diff
+from ..sim.events import Signal
+from .interval import IntervalRecord, VectorClock
+from .messages import DiffBatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .hlrc import HlrcNode
+
+__all__ = ["LoggingHooks", "NoLogging"]
+
+
+class LoggingHooks:
+    """Base class: every hook is a no-op; subclasses override selectively."""
+
+    #: Human-readable protocol name used in reports.
+    name = "none"
+    #: Flush the volatile log synchronously on entering acquire/release/barrier.
+    flush_at_sync_entry = False
+    #: Ask the coherence layer to twin home pages and produce home-write
+    #: diffs at interval end (needed by CCL so surviving homes can serve
+    #: their own modifications during a peer's recovery).
+    wants_home_diffs = False
+
+    def bind(self, node: "HlrcNode") -> None:
+        """Attach to the node whose events this instance will observe."""
+        self.node = node
+
+    # ------------------------------------------------------------------
+    # receipt-side events (buffer in volatile memory)
+    # ------------------------------------------------------------------
+    def on_notices_received(
+        self, records: List[IntervalRecord], window: int
+    ) -> None:
+        """Write-invalidation notices arrived with a grant or barrier release.
+
+        ``window`` is the in-interval position: 0 for notices applied at
+        the interval start (barrier release), ``m`` for the ``m``-th
+        lock acquire of the interval.  Recovery replays notices at the
+        same positions.
+        """
+
+    def on_page_fetched(
+        self, page: int, contents: np.ndarray, version: VectorClock, window: int
+    ) -> None:
+        """A page copy arrived from its home after a fault."""
+
+    def on_update_received(self, batch: DiffBatch) -> None:
+        """Diffs from a writer were applied to this node's home copies."""
+
+    def on_early_diff(self, diff: Diff, part: int, vt: VectorClock) -> None:
+        """A dirty page was diffed and flushed *mid-interval*.
+
+        Happens when a write-invalidation notice arriving with a lock
+        grant names a page the acquirer holds dirty: the local
+        modifications are diffed to the home before the copy is
+        invalidated.  CCL must log these diffs (they never reappear in
+        the end-of-interval diff, whose twin is gone).  ``part`` is the
+        within-interval flush number (>= 1) and ``vt`` the timestamp the
+        batch carried.
+        """
+
+    # ------------------------------------------------------------------
+    # interval-end events
+    # ------------------------------------------------------------------
+    def on_interval_end(
+        self,
+        interval_index: int,
+        vt: VectorClock,
+        remote_diffs: List[Diff],
+        home_diffs: List[Diff],
+        record: Optional[IntervalRecord],
+    ) -> None:
+        """The node closed an interval (diffs created, record built)."""
+
+    # ------------------------------------------------------------------
+    # flush scheduling
+    # ------------------------------------------------------------------
+    def sync_entry_flush(self) -> Generator[Any, Any, None]:
+        """Synchronous flush at sync-operation entry (ML's policy)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def overlapped_flush(self) -> Optional[Signal]:
+        """Issue an asynchronous flush during release (CCL's policy).
+
+        Returns the disk-completion signal, or None when there is
+        nothing to flush.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def log_summary(self) -> dict:
+        """Per-node logging statistics for the harness tables."""
+        return {"flushes": 0, "bytes_flushed": 0, "records": 0}
+
+
+class NoLogging(LoggingHooks):
+    """The baseline: home-based TreadMarks without any logging."""
+
+    name = "none"

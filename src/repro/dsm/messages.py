@@ -1,0 +1,302 @@
+"""Protocol message payloads and their wire sizes.
+
+Every DSM exchange is a :class:`~repro.sim.network.NetMessage` whose
+``payload`` is one of the dataclasses below and whose ``size`` is the
+payload's :attr:`nbytes` (the network layer adds the frame header).
+Sizes are computed from real contents -- diff bytes, record encodings,
+page images -- so traffic statistics are measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..memory.diff import Diff
+from .interval import IntervalRecord, VectorClock
+
+__all__ = [
+    "MSG_FIXED_BYTES",
+    "LockRequest",
+    "LockGrant",
+    "LockRelease",
+    "DiffBatch",
+    "DiffAck",
+    "PageRequest",
+    "PageReply",
+    "BarrierCheckin",
+    "BarrierRelease",
+    "LogDiffRequest",
+    "LogDiffReply",
+    "ReconRequest",
+    "ReconPage",
+    "ReconReply",
+    "records_nbytes",
+]
+
+#: Fixed per-payload metadata (kind, ids, counts).
+MSG_FIXED_BYTES = 16
+
+
+def records_nbytes(records: List[IntervalRecord]) -> int:
+    """Encoded size of a record list."""
+    return sum(r.nbytes for r in records)
+
+
+@dataclass
+class LockRequest:
+    """Acquire request sent to the lock's manager node."""
+
+    lock_id: int
+    requester: int
+    #: The requester's applied timestamp; the grant is filtered against it.
+    vt: VectorClock
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + self.vt.nbytes
+
+
+@dataclass
+class LockGrant:
+    """Ownership transfer, piggybacking uncovered write-invalidation notices."""
+
+    lock_id: int
+    records: List[IntervalRecord]
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + records_nbytes(self.records)
+
+
+@dataclass
+class LockRelease:
+    """Release notification carrying the releaser's new interval records."""
+
+    lock_id: int
+    releaser: int
+    records: List[IntervalRecord]
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + records_nbytes(self.records)
+
+
+@dataclass
+class DiffBatch:
+    """All diffs one writer flushes to one home in one operation.
+
+    ``part`` distinguishes flushes within one writer interval: 0 is the
+    normal end-of-interval flush; 1, 2, ... are *early* flushes forced
+    by mid-interval invalidations of dirty pages.  The triple
+    ``(writer, interval_index, part)`` uniquely identifies a logged
+    diff batch during recovery.
+    """
+
+    writer: int
+    interval_index: int
+    vt: VectorClock
+    diffs: List[Diff]
+    part: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + self.vt.nbytes + sum(d.nbytes for d in self.diffs)
+
+
+@dataclass
+class DiffAck:
+    """Home's acknowledgement that a diff batch has been applied."""
+
+    writer: int
+    interval_index: int
+    home: int
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES
+
+
+@dataclass
+class PageRequest:
+    """Fault-time fetch of an up-to-date page copy from its home."""
+
+    page: int
+    requester: int
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES
+
+
+@dataclass
+class PageReply:
+    """Home's reply: the page image and its version timestamp."""
+
+    page: int
+    contents: np.ndarray  # uint8, one page
+    version: VectorClock
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + len(self.contents) + self.version.nbytes
+
+
+@dataclass
+class BarrierCheckin:
+    """Arrival at a barrier, carrying the node's new interval records.
+
+    ``episode`` is the sender's barrier count; a fast worker may arrive
+    for the next episode before the manager finishes releasing the
+    current one, and the manager queues such arrivals.
+    """
+
+    barrier_id: int
+    node: int
+    episode: int
+    vt: VectorClock
+    records: List[IntervalRecord]
+    #: Home-migration proposals (adaptive-home extension): (page, new_home).
+    migrations: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            MSG_FIXED_BYTES
+            + self.vt.nbytes
+            + records_nbytes(self.records)
+            + 8 * len(self.migrations)
+        )
+
+
+@dataclass
+class BarrierRelease:
+    """Manager's check-out, carrying the records the recipient lacks."""
+
+    barrier_id: int
+    records: List[IntervalRecord]
+    #: Home-migration decisions broadcast with the release (extension).
+    migrations: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            MSG_FIXED_BYTES
+            + records_nbytes(self.records)
+            + 8 * len(self.migrations)
+        )
+
+
+# ----------------------------------------------------------------------
+# recovery-time messages
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LogDiffRequest:
+    """Recovery fetch of logged diffs from a surviving writer.
+
+    ``wants`` lists exact ``(page, interval_index, part)`` triples
+    recorded in the failed node's update-event metadata.  ``ranges``
+    lists ``(page, lo_index, hi_index)`` queries -- "every diff you
+    logged for this page in intervals lo..hi (inclusive), all parts" --
+    used by locally-directed delta reconstruction: the recovering node
+    derives the advanced writers of a warm page from the ``have`` and
+    ``needed`` vector components, which is exact because per-writer diff
+    delivery is FIFO and HLRC acknowledges diffs before a release
+    completes.
+    """
+
+    requester: int
+    wants: List[Tuple[int, int, int]] = field(default_factory=list)
+    ranges: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + 12 * (len(self.wants) + len(self.ranges))
+
+
+@dataclass
+class LogDiffReply:
+    """Logged diffs (with their interval timestamps) read from stable storage."""
+
+    #: ``(diff, writer, interval_index, part, vt)`` tuples; the vt is the
+    #: one the batch carried on the wire.
+    entries: List[Tuple[Diff, int, int, int, VectorClock]]
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + sum(
+            d.nbytes + 12 + vt.nbytes for d, _w, _i, _p, vt in self.entries
+        )
+
+
+@dataclass
+class ReconRequest:
+    """Recovery prefetch of pages *as of* given versions, batched per home.
+
+    The recovering node sends one request per home node per prefetch
+    window ("fetches the updates ... at the beginning of each time
+    interval", Section 3.2), listing every
+    ``(page, needed_version, have_version)`` it must reconstruct from
+    that home.  ``have_version`` (may be None) is the version of the
+    stale frame the recovering node still holds from an earlier install;
+    when present the home answers with just the *delta* history in
+    ``(have, needed]``, avoiding the checkpoint-image resend.
+    """
+
+    requester: int
+    wants: List[Tuple[int, VectorClock, Optional[VectorClock]]]
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + sum(
+            4 + vt.nbytes + (h.nbytes if h is not None else 0)
+            for _p, vt, h in self.wants
+        )
+
+
+@dataclass
+class ReconPage:
+    """Per-page item in a :class:`ReconReply`.
+
+    ``direct`` carries a usable page image (the home's frozen copy is
+    exactly the needed version).  Otherwise the page must be rebuilt by
+    applying the ``history`` diffs -- ``(writer, interval_index, part)``
+    triples dominated by the needed version -- either onto the
+    requester's retained stale frame (``delta=True``; history covers
+    only ``(have, needed]``) or onto the home's ``checkpoint`` image.
+    """
+
+    page: int
+    direct: Optional[np.ndarray] = None
+    version: Optional[VectorClock] = None
+    checkpoint: Optional[np.ndarray] = None
+    delta: bool = False
+    history: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        n = 8
+        if self.direct is not None:
+            n += len(self.direct)
+        if self.version is not None:
+            n += self.version.nbytes
+        if self.checkpoint is not None:
+            n += len(self.checkpoint)
+        n += 12 * len(self.history)
+        return n
+
+
+@dataclass
+class ReconReply:
+    """Home's batched answer to a :class:`ReconRequest`."""
+
+    home: int
+    items: List[ReconPage] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + sum(item.nbytes for item in self.items)

@@ -1,0 +1,184 @@
+"""Adaptive home migration (extension).
+
+Home-based LRC's costs hinge on home placement: a write to a remotely
+homed page pays twin + diff + flush, while a home write is free.  Later
+systems (the migrating-home protocol of Cheung et al., ORION's adaptive
+homes) therefore *move* a page's home toward its writer.  This module
+implements the cleanest sound variant:
+
+**barrier-synchronised sole-writer migration** -- at every barrier,
+each home proposes to hand off any of its pages that exactly one remote
+node wrote during the phase; the proposals ride the check-in messages,
+and the barrier release broadcasts the accepted list, so every node
+updates its home table at a point of global quiescence (HLRC
+acknowledges all diffs before check-in, so no coherence message is in
+flight across a barrier).
+
+Why the hand-off is a pure metadata switch: the sole writer's copy is
+*bitwise equal* to the home copy -- both are ``base-at-fetch +`` the
+writer's own modifications, and nobody else wrote the page since the
+writer's fetch (sole writer).  No page content moves.  The old home's
+copy remains valid as an ordinary cached copy; the version-dominance
+check in notice application protects it from self-invalidation
+naturally.
+
+Scope: failure-free only (``none`` logging).  Combining adaptive homes
+with coherence-centric recovery would need the reconstruction protocol
+to track home *histories*; the paper's protocol assumes static homes,
+and so does our recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Set, Tuple
+
+from ..errors import ProtocolError
+from .hlrc import HlrcNode
+from .messages import BarrierCheckin, BarrierRelease, DiffBatch
+
+__all__ = ["MigratingHlrcNode"]
+
+#: ``(page, new_home)`` hand-off decisions.
+Migrations = List[Tuple[int, int]]
+
+
+class MigratingHlrcNode(HlrcNode):
+    """HLRC with barrier-synchronised sole-writer home migration."""
+
+    def __init__(self, system, node_id, hooks=None):
+        super().__init__(system, node_id, hooks)
+        if self.hooks.name != "none":
+            raise ProtocolError(
+                "home migration supports only the 'none' logging protocol "
+                "(recovery assumes static homes, as in the paper)"
+            )
+        #: Writers seen per home page since the last barrier completion.
+        #: At completion this set is *complete* for the phase (diffs are
+        #: acknowledged before their senders check in, and the release
+        #: follows every check-in), so it rotates into
+        #: :attr:`last_phase_writers`, from which the next barrier's
+        #: proposals are built.  The barrier manager then validates each
+        #: proposal against the in-between episode's interval records.
+        self.phase_writers: Dict[int, Set[int]] = {}
+        self.last_phase_writers: Dict[int, Set[int]] = {}
+        from .interval import VectorClock
+
+        #: The global cut of the previous barrier (manager only):
+        #: episode records = table records beyond this cut.
+        self._last_barrier_vt = VectorClock.zero(self.cfg.num_nodes)
+
+    # ------------------------------------------------------------------
+    # track who writes each home page during the phase
+    # ------------------------------------------------------------------
+    def _apply_incoming_diffs(self, batch: DiffBatch) -> Generator[Any, Any, None]:
+        for d in batch.diffs:
+            self.phase_writers.setdefault(d.page, set()).add(batch.writer)
+        yield from super()._apply_incoming_diffs(batch)
+
+    def _end_interval(self) -> Generator[Any, Any, None]:
+        for p in self.pagetable.dirty_pages:
+            if self.pagetable.entry(p).home == self.id:
+                self.phase_writers.setdefault(p, set()).add(self.id)
+        yield from super()._end_interval()
+
+    def _propose_migrations(self) -> Migrations:
+        out: Migrations = []
+        for page, writers in self.last_phase_writers.items():
+            if self.pagetable.entry(page).home != self.id:
+                continue  # migrated away earlier; stale tracking entry
+            if len(writers) == 1:
+                (writer,) = writers
+                if writer != self.id:
+                    out.append((page, writer))
+        self.last_phase_writers = {}
+        return out
+
+    def _rotate_phase(self) -> None:
+        """At barrier completion the phase's writer sets are complete."""
+        self.last_phase_writers = self.phase_writers
+        self.phase_writers = {}
+
+    def _apply_migrations(self, migrations: Migrations) -> None:
+        from .interval import VectorClock
+
+        for page, new_home in migrations:
+            entry = self.pagetable.entry(page)
+            entry.home = new_home
+            if new_home == self.id:
+                # the sole writer's copy *is* the home copy (see module
+                # docstring); it only needs the home bookkeeping
+                self.home_events.setdefault(page, [])
+                if entry.version is None:  # pragma: no cover - defensive
+                    entry.version = VectorClock.zero(self.cfg.num_nodes)
+                self.stats.count("homes_gained")
+            self.stats.count("migrations_seen")
+
+    # ------------------------------------------------------------------
+    # barrier flow: proposals ride check-ins, decisions ride releases
+    # ------------------------------------------------------------------
+    def _barrier_as_worker(self, barrier_id: int) -> Generator[Any, Any, None]:
+        mgr = 0
+        records = self.table.records_not_covered_by(self.peer_known_vt[mgr])
+        sig = self.expect("barrier_release", barrier_id)
+        checkin = BarrierCheckin(barrier_id, self.id, self.barrier_episode,
+                                 self.vt, records)
+        checkin.migrations = self._propose_migrations()
+        yield from self._send(mgr, "barrier_checkin", checkin)
+        msg = yield sig
+        self.barrier_episode += 1
+        self._rotate_phase()
+        self._apply_migrations(getattr(msg.payload, "migrations", []))
+        yield from self._apply_notices(msg.payload.records)
+        self.hooks.on_notices_received(msg.payload.records, 0)
+        self.peer_known_vt[mgr] = self.vt
+
+    def _manage_barrier_checkin(self, msg: BarrierCheckin) -> None:
+        pending = getattr(self, "_pending_migrations", None)
+        if pending is None:
+            pending = self._pending_migrations = []
+        pending.extend(getattr(msg, "migrations", []))
+        super()._manage_barrier_checkin(msg)
+
+    def _barrier_as_manager(self, barrier_id: int) -> Generator[Any, Any, None]:
+        assert self.barrier_state is not None
+        own = self._propose_migrations()
+        all_in = self.barrier_state.checkin(self.id, self.vt, self.barrier_episode)
+        self.barrier_episode += 1
+        yield all_in
+        proposals = list(getattr(self, "_pending_migrations", [])) + own
+        self._pending_migrations = []
+        # validate against the episode's COMPLETE write history: every
+        # check-in has arrived, so the interval records beyond the last
+        # barrier cut name every page written this phase.  A proposal
+        # survives only if nobody but the prospective new home wrote the
+        # page -- this closes the race where a diff was still in flight
+        # when the old home proposed.
+        episode_records = self.table.records_not_covered_by(self._last_barrier_vt)
+        migrations = []
+        for page, new_home in proposals:
+            writers = {r.node for r in episode_records if page in r.pages}
+            # the proposal says "exactly `new_home` wrote the page in the
+            # previous (completed) phase"; accepting additionally requires
+            # that nobody *else* wrote it in the episode since -- then the
+            # writer's copy is the home copy, byte for byte
+            if writers <= {new_home}:
+                migrations.append((page, new_home))
+            else:
+                self.stats.count("migrations_rejected")
+        participants = self.barrier_state.participant_vts()
+        for node, vt in participants:
+            if node == self.id:
+                continue
+            records = self.table.records_not_covered_by(vt)
+            release = BarrierRelease(barrier_id, records)
+            release.migrations = migrations
+            yield from self._send(node, "barrier_release", release)
+        self._apply_migrations(migrations)
+        own_records = self.table.records_not_covered_by(self.vt)
+        yield from self._apply_notices(own_records)
+        self.hooks.on_notices_received(own_records, 0)
+        for node, _vt in participants:
+            self.peer_known_vt[node] = self.peer_known_vt[node].merge(self.vt)
+        self._last_barrier_vt = self.vt
+        self._rotate_phase()
+        self.barrier_state.next_episode()

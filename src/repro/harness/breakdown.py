@@ -1,0 +1,82 @@
+"""Execution-time breakdown reports.
+
+TreadMarks-style per-node statistics: where did each node's virtual
+time go (compute, page-fault stalls, synchronisation waits, diff work,
+log flushes), and what protocol events did it generate?  Used by the
+CLI's ``breakdown`` command and handy when calibrating the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dsm.system import RunResult
+
+__all__ = ["breakdown_rows", "render_breakdown"]
+
+#: Conventional time buckets, in display order.
+TIME_BUCKETS = (
+    "compute",
+    "fault",
+    "sync",
+    "diff",
+    "diff_wait",
+    "log_flush",
+)
+
+#: Headline counters, in display order.
+COUNTERS = (
+    "page_faults",
+    "diffs_created",
+    "invalidations",
+    "lock_acquires",
+    "barriers",
+)
+
+
+def breakdown_rows(result: RunResult) -> List[Dict[str, float]]:
+    """One row per node plus a cluster total, as plain dicts."""
+    rows: List[Dict[str, float]] = []
+    for stats in list(result.node_stats) + [result.aggregate]:
+        row: Dict[str, float] = {
+            "node": float(stats.node_id),
+            "total_s": result.total_time
+            if stats.node_id >= 0
+            else result.total_time * len(result.node_stats),
+        }
+        for bucket in TIME_BUCKETS:
+            row[bucket] = stats.time.get(bucket)
+        row["other"] = max(
+            0.0, row["total_s"] - sum(row[b] for b in TIME_BUCKETS)
+        )
+        for counter in COUNTERS:
+            row[counter] = float(stats.counters.get(counter, 0))
+        rows.append(row)
+    return rows
+
+
+def render_breakdown(result: RunResult) -> str:
+    """Aligned-text per-node breakdown of one run."""
+    rows = breakdown_rows(result)
+    head = (
+        f"Execution breakdown -- {result.app_name} under "
+        f"{result.protocol!r} ({len(result.node_stats)} nodes, "
+        f"{result.total_time:.4f}s)"
+    )
+    cols = ["node", "total_s", *TIME_BUCKETS, "other", *COUNTERS]
+    widths = [max(len(c), 9) for c in cols]
+    lines = [
+        head,
+        "".join(f"{c:>{w + 2}}" for c, w in zip(cols, widths)),
+    ]
+    for row in rows:
+        label = "ALL" if row["node"] < 0 else str(int(row["node"]))
+        cells = [label]
+        for c in cols[1:]:
+            v = row[c]
+            cells.append(f"{v:.4f}" if c.endswith("_s") or c in TIME_BUCKETS
+                         or c == "other" else f"{int(v)}")
+        lines.append(
+            "".join(f"{cell:>{w + 2}}" for cell, w in zip(cells, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro``.
+
+Regenerates the paper's evaluation from the terminal::
+
+    python -m repro table1
+    python -m repro table2 [--apps fft3d mg] [--scale bench]
+    python -m repro fig4   [--scale bench]
+    python -m repro fig5   [--scale bench] [--failed-node 3]
+    python -m repro all    [--scale test|bench]
+
+Each command prints the rendered table/figure; ``--csv PREFIX`` also
+writes the underlying rows to ``PREFIX_<name>.csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..apps import PAPER_APPS
+from ..config import ClusterConfig
+from .figures import fig4_rows, fig5_rows, render_fig4, render_fig5, write_csv
+from .runner import logging_comparison, recovery_comparison
+from .tables import render_table1, render_table2_panel
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the evaluation of 'Coherence-Centric Logging "
+        "and Recovery for Home-Based Software DSM' (ICPP 1999).",
+    )
+    p.add_argument(
+        "command",
+        choices=["table1", "table2", "fig4", "fig5", "breakdown", "report",
+                 "all"],
+        help="which artefact to regenerate",
+    )
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the report command's Markdown here "
+                        "(default: stdout)")
+    p.add_argument("--protocol", default="ccl",
+                   choices=["none", "ml", "ccl"],
+                   help="logging protocol for the breakdown command")
+    p.add_argument("--paper-mode", action="store_true",
+                   help="writer-aligned homes + no home-write logging "
+                        "(reproduces the paper's log-size ratios; "
+                        "see EXPERIMENTS.md)")
+    p.add_argument("--apps", nargs="*", default=list(PAPER_APPS),
+                   help="applications to run (default: the paper's four)")
+    p.add_argument("--scale", default="bench",
+                   choices=["test", "bench", "paper"],
+                   help="dataset scale (see repro.harness.scales)")
+    p.add_argument("--nodes", type=int, default=8,
+                   help="cluster size (paper: 8)")
+    p.add_argument("--failed-node", type=int, default=3,
+                   help="node crashed in recovery experiments")
+    p.add_argument("--csv", default=None, metavar="PREFIX",
+                   help="also write CSV files with this path prefix")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    config = ClusterConfig.ultra5(num_nodes=args.nodes)
+
+    if args.command in ("table1", "all"):
+        print(render_table1(args.apps))
+        print()
+
+    if args.command in ("table2", "fig4", "all"):
+        comparisons = []
+        for name in args.apps:
+            cmp = logging_comparison(
+                name, config, args.scale, paper_mode=args.paper_mode
+            )
+            comparisons.append(cmp)
+            if args.command in ("table2", "all"):
+                print(render_table2_panel(cmp))
+                print()
+        if args.command in ("fig4", "all"):
+            print(render_fig4(comparisons))
+        if args.csv:
+            write_csv(fig4_rows(comparisons), f"{args.csv}_fig4.csv")
+
+    if args.command == "report":
+        from .report import generate_report
+
+        text = generate_report(config, args.scale, args.apps,
+                               failed_node=args.failed_node)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text)
+
+    if args.command == "breakdown":
+        from .breakdown import render_breakdown
+        from .runner import run_application
+
+        for name in args.apps:
+            result, _system = run_application(
+                name, args.protocol, config, args.scale
+            )
+            print(render_breakdown(result))
+            print()
+
+    if args.command in ("fig5", "all"):
+        recoveries = []
+        for name in args.apps:
+            recoveries.append(
+                recovery_comparison(
+                    name, config, args.scale, failed_node=args.failed_node
+                )
+            )
+        print(render_fig5(recoveries))
+        if args.csv:
+            write_csv(fig5_rows(recoveries), f"{args.csv}_fig5.csv")
+
+    return 0

@@ -1,0 +1,99 @@
+"""Result persistence: JSON-serialisable snapshots of experiment output.
+
+Runs are deterministic, but the paper-scale simulations take minutes;
+persisting their measurements lets EXPERIMENTS.md numbers be traced to
+a concrete artefact and lets notebooks post-process results without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core import MultiRecoveryResult, RecoveryResult
+from ..dsm.system import RunResult
+
+__all__ = [
+    "run_result_to_dict",
+    "recovery_result_to_dict",
+    "multi_recovery_result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-friendly snapshot of a failure-free run."""
+    return {
+        "kind": "run",
+        "app": result.app_name,
+        "protocol": result.protocol,
+        "completed": result.completed,
+        "blocked": list(result.blocked),
+        "total_time_s": result.total_time,
+        "num_nodes": len(result.node_stats),
+        "network_bytes": result.network_bytes,
+        "network_msgs": result.network_msgs,
+        "bytes_by_kind": dict(result.bytes_by_kind),
+        "log": {
+            "num_flushes": result.num_flushes,
+            "total_bytes": result.total_log_bytes,
+            "mean_flush_bytes": result.mean_flush_bytes,
+        },
+        "nodes": [s.as_dict() for s in result.node_stats],
+    }
+
+
+def recovery_result_to_dict(result: RecoveryResult) -> Dict[str, Any]:
+    """A JSON-friendly snapshot of a single-failure recovery."""
+    return {
+        "kind": "recovery",
+        "app": result.app_name,
+        "protocol": result.protocol,
+        "failed_node": result.failed_node,
+        "at_seal": result.at_seal,
+        "recovery_time_s": result.recovery_time,
+        "verified": result.verified,
+        "bit_exact": result.ok,
+        "mismatches": list(result.mismatches),
+        "replay": result.replay_stats.as_dict(),
+    }
+
+
+def multi_recovery_result_to_dict(result: MultiRecoveryResult) -> Dict[str, Any]:
+    """A JSON-friendly snapshot of a multi-failure recovery."""
+    return {
+        "kind": "multi_recovery",
+        "app": result.app_name,
+        "protocol": result.protocol,
+        "failed_nodes": list(result.failed_nodes),
+        "at_seals": {str(k): v for k, v in result.at_seals.items()},
+        "recovery_time_s": result.recovery_time,
+        "per_node_times_s": {str(k): v for k, v in result.recovery_times.items()},
+        "bit_exact": result.ok,
+    }
+
+
+def save_json(results: List[Any], path: str) -> None:
+    """Serialise a heterogeneous list of results to one JSON file."""
+    payload = []
+    for r in results:
+        if isinstance(r, RunResult):
+            payload.append(run_result_to_dict(r))
+        elif isinstance(r, RecoveryResult):
+            payload.append(recovery_result_to_dict(r))
+        elif isinstance(r, MultiRecoveryResult):
+            payload.append(multi_recovery_result_to_dict(r))
+        elif isinstance(r, dict):
+            payload.append(r)
+        else:
+            raise TypeError(f"cannot serialise {type(r).__name__}")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+
+
+def load_json(path: str) -> List[Dict[str, Any]]:
+    """Load results previously written by :func:`save_json`."""
+    with open(path) as fh:
+        return json.load(fh)

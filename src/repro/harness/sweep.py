@@ -1,0 +1,54 @@
+"""Parameter sweeps for the ablation benches.
+
+:func:`sweep` runs a measurement function over variants of the cluster
+configuration (disk speed, page size, network latency, node count, home
+policy...) and tabulates one metric per variant -- the machinery behind
+the A1-A5 ablations in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+__all__ = ["SweepPoint", "sweep", "render_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One sweep variant and its measured metrics."""
+
+    label: str
+    params: Dict[str, Any]
+    metrics: Dict[str, float]
+
+
+def sweep(
+    variants: Iterable[Tuple[str, Dict[str, Any]]],
+    measure: Callable[[str, Dict[str, Any]], Dict[str, float]],
+) -> List[SweepPoint]:
+    """Run ``measure(label, params)`` for every variant."""
+    points = []
+    for label, params in variants:
+        points.append(SweepPoint(label, dict(params), measure(label, params)))
+    return points
+
+
+def render_sweep(title: str, points: List[SweepPoint]) -> str:
+    """Aligned-text table of a sweep's metrics."""
+    if not points:
+        return f"{title}\n(no data)"
+    metric_names = list(points[0].metrics.keys())
+    label_w = max(len("variant"), *(len(p.label) for p in points))
+    cols = [max(len(m), 12) for m in metric_names]
+    lines = [
+        title,
+        "variant".ljust(label_w)
+        + "".join(f"  {m:>{w}}" for m, w in zip(metric_names, cols)),
+    ]
+    for p in points:
+        cells = "".join(
+            f"  {p.metrics[m]:>{w}.4g}" for m, w in zip(metric_names, cols)
+        )
+        lines.append(p.label.ljust(label_w) + cells)
+    return "\n".join(lines)

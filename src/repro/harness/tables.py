@@ -1,0 +1,85 @@
+"""Text renderers for the paper's tables.
+
+:func:`render_table1` reproduces Table 1 (application characteristics);
+:func:`render_table2_panel` reproduces one panel of Table 2 (overhead
+details under the three logging protocols), formatted like the paper's::
+
+    Logging    Execution    Mean Log    Total Log    # of
+    Protocol   Time (sec.)  Size (KB)   Size (MB)    Flushes
+    None       ...          --          --           --
+    ML         ...
+    CCL        ...
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..apps import make_app
+from .runner import LoggingComparison
+
+__all__ = ["render_table1", "render_table2_panel", "table1_rows"]
+
+
+def table1_rows(app_names: Iterable[str], paper_scale: bool = True) -> List[dict]:
+    """Table 1 data: one dict per application.
+
+    Defaults to the paper-scale datasets, since Table 1 documents the
+    paper's configuration (the harness runs scaled-down datasets; see
+    :mod:`repro.harness.scales`).
+    """
+    rows = []
+    for name in app_names:
+        app = make_app(name, paper_scale=paper_scale)
+        rows.append(app.characteristics())
+    return rows
+
+
+def render_table1(app_names: Iterable[str]) -> str:
+    """Format Table 1 as aligned text."""
+    rows = table1_rows(app_names)
+    headers = ("Program", "Data Set Size", "Synchronization")
+    data = [(r["program"], r["data_set"], r["synchronization"]) for r in rows]
+    widths = [
+        max(len(h), *(len(d[i]) for d in data)) for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for d in data:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(d, widths)))
+    return "\n".join(lines)
+
+
+def render_table2_panel(cmp: LoggingComparison) -> str:
+    """Format one Table 2 panel (one application) as aligned text."""
+    header = (
+        f"Table 2 -- Overhead Details under Different Logging Protocols"
+        f" ({cmp.app_name})\n"
+        f"{'Logging':<10}{'Execution':>12}{'Mean Log':>12}"
+        f"{'Total Log':>12}{'# of':>10}\n"
+        f"{'Protocol':<10}{'Time (sec.)':>12}{'Size (KB)':>12}"
+        f"{'Size (MB)':>12}{'Flushes':>10}"
+    )
+    lines = [header]
+    label = {"none": "None", "ml": "ML", "ccl": "CCL"}
+    for row in cmp.rows:
+        if row.protocol == "none":
+            lines.append(
+                f"{label[row.protocol]:<10}{row.exec_time_s:>12.3f}"
+                f"{'--':>12}{'--':>12}{'--':>10}"
+            )
+        else:
+            lines.append(
+                f"{label[row.protocol]:<10}{row.exec_time_s:>12.3f}"
+                f"{row.mean_log_kb:>12.2f}{row.total_log_mb:>12.3f}"
+                f"{row.num_flushes:>10d}"
+            )
+    ml = cmp.row("ml")
+    if ml.total_log_mb:
+        lines.append(
+            f"(CCL total log = {100.0 * cmp.ccl_log_fraction:.1f}% of ML's;"
+            f" paper reports 4.5%-12.5% across the four applications)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Paged shared-memory substrate.
+
+This package implements the memory machinery every software DSM needs:
+a page-granular shared address space (:mod:`repro.memory.addrspace`),
+per-node page tables with twin support (:mod:`repro.memory.pagetable`),
+word-granularity diff creation and application (:mod:`repro.memory.diff`),
+and NumPy-backed views of shared variables
+(:mod:`repro.memory.sharedarray`).
+
+Diffs here are *real*: they are computed by comparing actual page
+contents, so every log-size number reported by the harness is measured
+rather than modelled.
+"""
+
+from .page import PageState
+from .pagetable import PageEntry, PageTable
+from .diff import Diff, create_diff, apply_diff
+from .addrspace import SharedAddressSpace, SharedVar
+from .sharedarray import LocalMemory, SharedArray, pages_in_byte_range
+
+__all__ = [
+    "PageState",
+    "PageEntry",
+    "PageTable",
+    "Diff",
+    "create_diff",
+    "apply_diff",
+    "SharedAddressSpace",
+    "SharedVar",
+    "LocalMemory",
+    "SharedArray",
+    "pages_in_byte_range",
+]

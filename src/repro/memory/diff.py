@@ -1,0 +1,158 @@
+"""Word-granularity diffs (summaries of modifications).
+
+TreadMarks-style DSMs propagate writes as *diffs*: a run-length encoding
+of the 4-byte words that differ between a page's *twin* (the pristine
+copy made before the first write of an interval) and its current
+contents.  Multiple concurrent writers of one page are merged by
+applying their diffs to the home copy; for data-race-free programs the
+touched word sets are disjoint, so application order between concurrent
+diffs does not matter.
+
+The encoded size (:attr:`Diff.nbytes`) follows the classic wire format:
+a fixed header plus, per run, an (offset, length) pair and the run's
+words.  Log-size statistics in the evaluation are sums of these real
+encoded sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import WORD_SIZE
+from ..errors import DiffError
+
+__all__ = ["Diff", "create_diff", "apply_diff", "merge_diffs"]
+
+#: Encoded bytes for the diff header (page id, word count, run count, flags).
+DIFF_HEADER_BYTES = 16
+#: Encoded bytes per run header (word offset, run length).
+RUN_HEADER_BYTES = 8
+
+
+@dataclass
+class Diff:
+    """A summary of modifications to one page.
+
+    ``runs`` holds ``(word_offset, words)`` pairs where ``words`` is a
+    ``uint32`` array owning its data (safe to keep after the source page
+    mutates).  An empty run list is a legal "no changes" diff.
+    """
+
+    page: int
+    runs: List[Tuple[int, np.ndarray]] = field(default_factory=list)
+
+    @property
+    def word_count(self) -> int:
+        """Total modified words across all runs."""
+        return sum(len(words) for _off, words in self.runs)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded wire/log size in bytes."""
+        return (
+            DIFF_HEADER_BYTES
+            + RUN_HEADER_BYTES * len(self.runs)
+            + WORD_SIZE * self.word_count
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no words changed."""
+        return not self.runs
+
+    def word_offsets(self) -> np.ndarray:
+        """All modified word offsets, ascending (for overlap checks)."""
+        if not self.runs:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.arange(off, off + len(words)) for off, words in self.runs]
+        )
+
+    def copy(self) -> "Diff":
+        """Deep copy (the recovery path replays diffs multiple times)."""
+        return Diff(self.page, [(off, words.copy()) for off, words in self.runs])
+
+
+def _as_words(buf: np.ndarray) -> np.ndarray:
+    if buf.dtype != np.uint8 or buf.ndim != 1:
+        raise DiffError(f"expected 1-D uint8 page buffer, got {buf.dtype}/{buf.ndim}-D")
+    if len(buf) % WORD_SIZE:
+        raise DiffError(f"page length {len(buf)} not a multiple of {WORD_SIZE}")
+    return buf.view(np.uint32)
+
+
+def create_diff(page: int, twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Compare ``twin`` against ``current`` and encode the changed words.
+
+    Both arguments are 1-D ``uint8`` buffers of equal page-sized length.
+    Runs of consecutive changed words are coalesced, exactly as the
+    TreadMarks diff encoder does, which is what makes small scattered
+    writes cheap to ship.
+    """
+    if twin.shape != current.shape:
+        raise DiffError(f"twin/current shape mismatch: {twin.shape} vs {current.shape}")
+    tw = _as_words(twin)
+    cw = _as_words(current)
+    changed = np.flatnonzero(tw != cw)
+    if changed.size == 0:
+        return Diff(page)
+    # split the sorted changed-word indices into consecutive runs
+    breaks = np.flatnonzero(np.diff(changed) > 1) + 1
+    runs: List[Tuple[int, np.ndarray]] = []
+    for segment in np.split(changed, breaks):
+        off = int(segment[0])
+        runs.append((off, cw[off : off + len(segment)].copy()))
+    return Diff(page, runs)
+
+
+def merge_diffs(first: Diff, second: Diff) -> Diff:
+    """Combine two diffs of one page; ``second``'s words win on overlap.
+
+    Needed when a page produces two diffs within one interval: an
+    *early* diff created when a write-invalidation notice hits a dirty
+    page mid-interval, followed by a normal end-of-interval diff after
+    the page was refetched and written again.  The log keeps one merged
+    diff per (page, interval) so recovery lookups stay unambiguous.
+    """
+    if first.page != second.page:
+        raise DiffError(
+            f"cannot merge diffs of pages {first.page} and {second.page}"
+        )
+    words: dict[int, int] = {}
+    for d in (first, second):
+        for off, run in d.runs:
+            for k, w in enumerate(run):
+                words[off + k] = int(w)
+    if not words:
+        return Diff(first.page)
+    offsets = sorted(words)
+    runs: List[Tuple[int, np.ndarray]] = []
+    start = prev = offsets[0]
+    vals = [words[start]]
+    for o in offsets[1:]:
+        if o == prev + 1:
+            vals.append(words[o])
+        else:
+            runs.append((start, np.array(vals, dtype=np.uint32)))
+            start = o
+            vals = [words[o]]
+        prev = o
+    runs.append((start, np.array(vals, dtype=np.uint32)))
+    return Diff(first.page, runs)
+
+
+def apply_diff(diff: Diff, target: np.ndarray) -> int:
+    """Write the diff's words into ``target`` (1-D uint8); returns words applied."""
+    tw = _as_words(target)
+    applied = 0
+    for off, words in diff.runs:
+        if off < 0 or off + len(words) > len(tw):
+            raise DiffError(
+                f"diff run [{off}, {off + len(words)}) outside page of {len(tw)} words"
+            )
+        tw[off : off + len(words)] = words
+        applied += len(words)
+    return applied

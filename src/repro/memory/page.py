@@ -1,0 +1,40 @@
+"""Page protection states.
+
+A node's copy of a shared page is in one of three states, mirroring the
+virtual-memory protections a trap-based DSM would install:
+
+* :attr:`PageState.INVALID` -- no access; any touch faults and fetches
+  the page from its home node.
+* :attr:`PageState.CLEAN` -- read-only; a write faults, creates a twin,
+  and upgrades to DIRTY.
+* :attr:`PageState.DIRTY` -- read-write; the page has a twin against
+  which a diff will be created at the next release/barrier.
+
+Home copies are special: they are permanently valid at their home node
+(one of HLRC's selling points) and never carry a twin -- home writes
+are propagated through write notices, not diffs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["PageState"]
+
+
+class PageState(enum.Enum):
+    """Access state of one node's copy of a shared page."""
+
+    INVALID = "invalid"
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+    @property
+    def readable(self) -> bool:
+        """Whether a read proceeds without a fault."""
+        return self is not PageState.INVALID
+
+    @property
+    def writable(self) -> bool:
+        """Whether a write proceeds without a fault."""
+        return self is PageState.DIRTY

@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic virtual-time engine on which the
+DSM cluster runs: coroutine-style simulated processes
+(:mod:`repro.sim.process`), one-shot signals and timeouts
+(:mod:`repro.sim.events`), FIFO resources and mailboxes
+(:mod:`repro.sim.resources`), plus network and disk models and
+statistics collection.
+"""
+
+from .engine import Simulator
+from .events import AllOf, Signal, Timeout
+from .process import SimProcess
+from .resources import FifoServer, Mailbox
+from .network import Network, NetMessage
+from .disk import Disk
+from .stats import Counter, NodeStats, TimeBreakdown
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "SimProcess",
+    "FifoServer",
+    "Mailbox",
+    "Network",
+    "NetMessage",
+    "Disk",
+    "Counter",
+    "NodeStats",
+    "TimeBreakdown",
+]

@@ -1,0 +1,70 @@
+"""Local-disk (stable storage) model.
+
+Each node owns one :class:`Disk`.  Operations queue FIFO and cost a
+fixed access latency plus a bandwidth-proportional transfer, per
+:class:`~repro.config.DiskConfig`.  Writes may be issued asynchronously
+-- the caller receives a completion :class:`~repro.sim.events.Signal`
+and chooses whether to wait -- which is exactly the hook coherence-
+centric logging exploits to overlap its flush with the diff round trip.
+"""
+
+from __future__ import annotations
+
+from ..config import DiskConfig
+from ..errors import SimulationError
+from .engine import Simulator
+from .events import Signal
+from .resources import FifoServer
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """One node's local disk with FIFO service and I/O statistics."""
+
+    def __init__(self, sim: Simulator, config: DiskConfig, name: str = "disk"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self._server = FifoServer(sim, name)
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.num_writes = 0
+        self.num_reads = 0
+
+    def write(self, nbytes: int) -> Signal:
+        """Issue a write of ``nbytes``; returns its completion signal."""
+        if nbytes < 0:
+            raise SimulationError(f"negative write size: {nbytes}")
+        self.bytes_written += nbytes
+        self.num_writes += 1
+        return self._server.request(self.config.write_time(nbytes))
+
+    def read(self, nbytes: int) -> Signal:
+        """Issue a cold random read; returns its completion signal."""
+        if nbytes < 0:
+            raise SimulationError(f"negative read size: {nbytes}")
+        self.bytes_read += nbytes
+        self.num_reads += 1
+        return self._server.request(self.config.read_time(nbytes))
+
+    def read_seq(self, nbytes: int) -> Signal:
+        """Issue a sequential-scan read (recovery log consumption)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative read size: {nbytes}")
+        self.bytes_read += nbytes
+        self.num_reads += 1
+        return self._server.request(self.config.seq_read_time(nbytes))
+
+    def read_cached(self, nbytes: int) -> Signal:
+        """Issue a buffer-cache-warm read (survivor log service)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative read size: {nbytes}")
+        self.bytes_read += nbytes
+        self.num_reads += 1
+        return self._server.request(self.config.cached_read_time(nbytes))
+
+    @property
+    def busy_time(self) -> float:
+        """Total seconds the disk has spent (or is committed to spend) busy."""
+        return self._server.busy_time

@@ -1,0 +1,124 @@
+"""Waitable primitives for simulated processes.
+
+A simulated process (see :mod:`repro.sim.process`) communicates with the
+engine by *yielding* one of the request objects defined here:
+
+* :class:`Timeout` -- resume after a fixed amount of virtual time.
+* :class:`Signal` -- resume when another actor triggers the signal;
+  the triggering value becomes the result of the ``yield``.
+* :class:`AllOf` -- resume when every signal in a set has triggered;
+  the result is the list of their values in order.
+
+Signals are **one-shot**: they trigger exactly once and remember their
+value, so a process that waits on an already-triggered signal resumes
+immediately.  This mirrors completion events (message delivery, disk
+I/O, ACK collection) which never "un-happen".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Timeout", "Signal", "AllOf"]
+
+
+class Timeout:
+    """Request to sleep for ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Signal:
+    """A one-shot completion event carrying an optional value.
+
+    Actors call :meth:`trigger` exactly once; processes wait by yielding
+    the signal.  Multiple processes may wait on the same signal; all are
+    resumed (in registration order) with the same value.
+    """
+
+    __slots__ = ("name", "triggered", "value", "_callbacks")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter with ``value``.
+
+        Waiter wake-ups are delivered synchronously by whoever drains
+        the callback list (the engine schedules resumes at the current
+        virtual time, preserving causality).
+        """
+        if self.triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        """Register ``cb``; invoked immediately if already triggered."""
+        if self.triggered:
+            cb(self.value)
+        else:
+            self._callbacks.append(cb)
+
+    def discard_callback(self, cb: Callable[[Any], None]) -> None:
+        """Remove a pending callback (used when a waiter is killed)."""
+        try:
+            self._callbacks.remove(cb)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"triggered={self.value!r}" if self.triggered else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf:
+    """Barrier over several signals: resumes when all have triggered.
+
+    The ``yield`` result is the list of signal values, ordered as the
+    signals were passed in.  An empty collection completes immediately.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals: Iterable[Signal]):
+        self.signals: List[Signal] = list(signals)
+
+    def as_signal(self, name: str = "allof") -> Signal:
+        """Collapse into a single :class:`Signal` (used by the engine)."""
+        out = Signal(name)
+        remaining = len(self.signals)
+        if remaining == 0:
+            out.trigger([])
+            return out
+        values: List[Optional[Any]] = [None] * remaining
+        state = {"left": remaining}
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                values[i] = value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    out.trigger(list(values))
+
+            return cb
+
+        for i, sig in enumerate(self.signals):
+            sig.add_callback(make_cb(i))
+        return out

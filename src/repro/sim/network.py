@@ -1,0 +1,150 @@
+"""Switched-Ethernet network model.
+
+Each node owns a transmit NIC (:class:`~repro.sim.resources.FifoServer`)
+and a receive :class:`~repro.sim.resources.Mailbox`.  A message from A
+to B occupies A's NIC for its serialisation time, then arrives at B's
+mailbox after the one-way latency plus the receiver's per-message CPU
+overhead.  The switch fabric is non-blocking, matching the full-duplex
+100 Mbps switch of the paper's testbed, so cross traffic between other
+node pairs never delays a transfer.
+
+Senders call :meth:`Network.send` from inside a simulated process with
+``yield from``; the call charges the sender-side CPU overhead and
+returns a :class:`~repro.sim.events.Signal` that fires on delivery
+(useful when the sender must know its message has landed, e.g. for
+modelling the ACK-free fast paths in recovery responders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List
+
+from ..config import NetworkConfig
+from ..errors import SimulationError
+from .engine import Simulator
+from .events import Signal, Timeout
+from .resources import FifoServer, Mailbox
+
+__all__ = ["NetMessage", "Network"]
+
+
+@dataclass
+class NetMessage:
+    """One message on the wire.
+
+    ``kind`` is a short protocol tag (``"page_req"``, ``"diff"``, ...);
+    ``size`` is the modelled wire size in bytes, which the DSM layer
+    computes from real payload contents so that traffic statistics are
+    measured rather than assumed.  ``payload`` carries the actual Python
+    data and has no timing effect beyond ``size``.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    size: int = 64
+    #: Filled in by the network at delivery time (virtual seconds).
+    delivered_at: float = field(default=-1.0, compare=False)
+
+
+class Network:
+    """The cluster interconnect.
+
+    Statistics are kept per node and per message kind so the harness can
+    report protocol traffic exactly (bytes of diffs vs. pages vs. sync
+    control traffic).
+    """
+
+    #: Wire overhead added to every message (UDP/IP + protocol header).
+    HEADER_BYTES = 40
+
+    def __init__(self, sim: Simulator, config: NetworkConfig, num_nodes: int):
+        if num_nodes < 1:
+            raise SimulationError("network needs at least one node")
+        self.sim = sim
+        self.config = config
+        self.num_nodes = num_nodes
+        self._nics = [FifoServer(sim, f"nic{i}") for i in range(num_nodes)]
+        self._mailboxes = [Mailbox(sim, f"mbox{i}") for i in range(num_nodes)]
+        self.bytes_sent: List[int] = [0] * num_nodes
+        self.msgs_sent: List[int] = [0] * num_nodes
+        self.bytes_by_kind: Dict[str, int] = {}
+        self.msgs_by_kind: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def mailbox(self, node: int) -> Mailbox:
+        """The receive queue of ``node``."""
+        return self._mailboxes[node]
+
+    def send(self, msg: NetMessage) -> Generator[Any, Any, Signal]:
+        """Transmit ``msg`` (call with ``yield from``).
+
+        Charges the sender's per-message CPU overhead on the caller's
+        timeline, enqueues the frame on the sender NIC, and returns a
+        delivery signal.  The caller continues as soon as the CPU
+        overhead is paid -- sends are asynchronous, as in TreadMarks.
+        """
+        self._validate(msg)
+        yield Timeout(self.config.send_overhead_s)
+        return self.post(msg)
+
+    def post(self, msg: NetMessage) -> Signal:
+        """Transmit without charging sender CPU time.
+
+        Used by contexts that have already accounted for handler CPU
+        (e.g. the asynchronous update handler, whose cost is charged as
+        a lump by the protocol layer).  Returns the delivery signal.
+        """
+        self._validate(msg)
+        wire = msg.size + self.HEADER_BYTES
+        self.bytes_sent[msg.src] += wire
+        self.msgs_sent[msg.src] += 1
+        self.bytes_by_kind[msg.kind] = self.bytes_by_kind.get(msg.kind, 0) + wire
+        self.msgs_by_kind[msg.kind] = self.msgs_by_kind.get(msg.kind, 0) + 1
+
+        tx_done = self._nics[msg.src].request(self.config.transfer_time(wire))
+        delivered = Signal(f"net.{msg.kind}.{msg.src}->{msg.dst}")
+        extra = self.config.latency_s + self.config.recv_overhead_s
+
+        def on_tx(_finish: Any) -> None:
+            def deliver() -> None:
+                msg.delivered_at = self.sim.now
+                self._mailboxes[msg.dst].put(msg)
+                delivered.trigger(msg)
+
+            self.sim.schedule(extra, deliver)
+
+        tx_done.add_callback(on_tx)
+        return delivered
+
+    def round_trip_estimate(self, request_bytes: int, reply_bytes: int) -> float:
+        """Analytic lower bound for a request/reply exchange.
+
+        Handy for tests and for the overlap accounting in CCL, which
+        compares disk-flush time against the diff-flush round trip.
+        """
+        c = self.config
+        one_way = lambda n: (  # noqa: E731 - local helper
+            c.send_overhead_s
+            + c.transfer_time(n + self.HEADER_BYTES)
+            + c.latency_s
+            + c.recv_overhead_s
+        )
+        return one_way(request_bytes) + one_way(reply_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """All wire bytes sent since construction."""
+        return sum(self.bytes_sent)
+
+    # ------------------------------------------------------------------
+    def _validate(self, msg: NetMessage) -> None:
+        n = self.num_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise SimulationError(f"message endpoints out of range: {msg}")
+        if msg.src == msg.dst:
+            raise SimulationError(f"loopback send not modelled: {msg}")
+        if msg.size < 0:
+            raise SimulationError(f"negative message size: {msg}")

@@ -1,0 +1,136 @@
+"""Simulated processes: generators driven on the virtual clock.
+
+A process body is a plain Python generator that ``yield``\\ s request
+objects (:class:`~repro.sim.events.Timeout`,
+:class:`~repro.sim.events.Signal`, :class:`~repro.sim.events.AllOf`, or
+another :class:`SimProcess` to join).  Sub-operations compose with
+``yield from``, which lets protocol code (page fetches, lock hand-offs,
+disk flushes) run *inside* the simulated timeline of its caller --
+exactly how the DSM layer is written.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import ProcessKilled, SimulationError
+from .events import AllOf, Signal, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+__all__ = ["SimProcess"]
+
+
+class SimProcess:
+    """One coroutine of simulated execution.
+
+    Lifecycle: created by :meth:`Simulator.spawn`, stepped by the engine
+    whenever its current wait completes, and finished when the generator
+    returns (the return value is stored in :attr:`result`) or raises.
+    A process is itself waitable: yielding a ``SimProcess`` blocks until
+    it finishes and evaluates to its result.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.killed = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        #: Signal triggered with the process result on completion.
+        self.done = Signal(f"{name}.done")
+        self._waiting_on: Optional[Signal] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the process can still make progress."""
+        return not self.finished and not self.killed
+
+    def start(self) -> None:
+        """First step; invoked by the engine at spawn time."""
+        if self._started or not self.alive:
+            return
+        self._started = True
+        self._step(None)
+
+    def kill(self) -> None:
+        """Forcibly terminate the process (crash injection).
+
+        The generator receives :class:`ProcessKilled` so that ``finally``
+        blocks run; the process then counts as dead and its ``done``
+        signal is *not* triggered (a crashed node never reports back).
+        """
+        if not self.alive:
+            return
+        self.killed = True
+        if self._waiting_on is not None:
+            self._waiting_on.discard_callback(self._resume)
+            self._waiting_on = None
+        try:
+            self.gen.throw(ProcessKilled(f"process {self.name} killed"))
+        except (ProcessKilled, StopIteration):
+            pass
+        except Exception as exc:  # body swallowed the kill and died anyway
+            self.error = exc
+        finally:
+            self.gen.close()
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        """Signal callback: schedule the next step at the current time."""
+        self._waiting_on = None
+        self.sim.schedule(0.0, lambda: self._step(value))
+
+    def _step(self, value: Any) -> None:
+        if not self.alive:
+            return
+        try:
+            request = self.gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done.trigger(stop.value)
+            return
+        except ProcessKilled:
+            self.killed = True
+            return
+        except Exception as exc:
+            self.finished = True
+            self.error = exc
+            raise SimulationError(
+                f"simulated process {self.name!r} raised {exc!r}"
+            ) from exc
+        self._wait_on(request)
+
+    def _wait_on(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            self.sim.schedule(request.delay, lambda: self._step(None))
+        elif isinstance(request, Signal):
+            self._waiting_on = request
+            request.add_callback(self._resume)
+        elif isinstance(request, AllOf):
+            sig = request.as_signal()
+            self._waiting_on = sig
+            sig.add_callback(self._resume)
+        elif isinstance(request, SimProcess):
+            self._waiting_on = request.done
+            request.done.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "killed"
+            if self.killed
+            else "finished"
+            if self.finished
+            else "running"
+        )
+        return f"<SimProcess {self.name} {state}>"

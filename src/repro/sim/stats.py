@@ -1,0 +1,113 @@
+"""Statistics collection for simulated nodes.
+
+The evaluation section of the paper reports execution time, log sizes,
+flush counts, and recovery time.  To regenerate those tables the DSM
+layer records, per node, both event *counters* (:class:`Counter`) and a
+*time breakdown* (:class:`TimeBreakdown`) attributing virtual seconds of
+the node's critical path to categories such as compute, page-fault
+stalls, synchronisation waits, and log-flush stalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping
+
+__all__ = ["Counter", "TimeBreakdown", "NodeStats"]
+
+
+class Counter(Dict[str, float]):
+    """A string-keyed tally with a convenience ``add`` and merge."""
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Increment ``key`` by ``amount`` (creating it at zero)."""
+        self[key] = self.get(key, 0) + amount
+
+    def merge(self, other: Mapping[str, float]) -> "Counter":
+        """Accumulate another counter into this one; returns self."""
+        for k, v in other.items():
+            self.add(k, v)
+        return self
+
+
+class TimeBreakdown:
+    """Attribution of a node's virtual time to named categories.
+
+    Categories are open-ended strings; the harness groups on the
+    conventional ones:
+
+    * ``compute`` -- application floating-point work
+    * ``fault`` -- page-fault stalls (fetch round trips)
+    * ``sync`` -- waiting at locks and barriers
+    * ``diff`` -- diff creation/application CPU
+    * ``log_flush`` -- stable-storage flush time on the critical path
+    * ``log_read`` -- reading logged data during recovery
+    * ``prefetch`` -- recovery prefetch round trips
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Counter = Counter()
+
+    def add(self, category: str, seconds: float) -> None:
+        """Charge ``seconds`` of critical-path time to ``category``."""
+        self._buckets.add(category, seconds)
+
+    def get(self, category: str) -> float:
+        """Seconds charged to ``category`` so far (0 if never charged)."""
+        return self._buckets.get(category, 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over all categories."""
+        return sum(self._buckets.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain-dict copy for reporting."""
+        return dict(self._buckets)
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Accumulate another breakdown into this one; returns self."""
+        self._buckets.merge(other._buckets)
+        return self
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._buckets)
+
+
+class NodeStats:
+    """All measurements for one simulated node.
+
+    Combines event counters (``page_faults``, ``diffs_created``,
+    ``diff_bytes_sent``, ``log_flushes`` ...) with a
+    :class:`TimeBreakdown`.  The harness aggregates these across nodes
+    when rendering the paper's tables.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.counters = Counter()
+        self.time = TimeBreakdown()
+
+    def count(self, key: str, amount: float = 1) -> None:
+        """Shorthand for ``self.counters.add``."""
+        self.counters.add(key, amount)
+
+    def charge(self, category: str, seconds: float) -> None:
+        """Shorthand for ``self.time.add``."""
+        self.time.add(category, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot."""
+        return {
+            "node": self.node_id,
+            "counters": dict(self.counters),
+            "time": self.time.as_dict(),
+        }
+
+    @staticmethod
+    def aggregate(stats: List["NodeStats"]) -> "NodeStats":
+        """Element-wise sum across nodes (node_id = -1)."""
+        out = NodeStats(-1)
+        for s in stats:
+            out.counters.merge(s.counters)
+            out.time.merge(s.time)
+        return out

@@ -1,0 +1,53 @@
+"""Optional event tracing.
+
+A :class:`Tracer` records ``(time, node, event, detail)`` tuples when
+enabled.  Tracing is off by default (zero overhead beyond one branch);
+tests and the recovery debugger turn it on to inspect protocol
+interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped protocol event."""
+
+    time: float
+    node: int
+    event: str
+    detail: Any = None
+
+
+class Tracer:
+    """Append-only trace buffer with simple filtering helpers."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, node: int, event: str, detail: Any = None) -> None:
+        """Record an event if tracing is enabled."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, node, event, detail))
+
+    def filter(self, event: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
+        """Events matching the given event name and/or node."""
+        out = self.events
+        if event is not None:
+            out = [e for e in out if e.event == event]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        return list(out)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,161 @@
+"""Unit tests for the numerical kernels underlying the workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps.mg import (
+    jacobi_plane,
+    prolong_grid,
+    residual_plane,
+    restrict_grid,
+    sequential_vcycles,
+)
+from repro.apps.shallow import (
+    advance_rows,
+    flux_rows,
+    initial_fields,
+    sequential_shallow,
+)
+from repro.apps.sor import initial_grid, sequential_sor
+from repro.apps.water import (
+    initial_molecules,
+    pair_forces_for_block,
+    sequential_water,
+)
+from repro.apps.base import block_rows
+
+
+class TestBlockRows:
+    def test_even_split(self):
+        assert [block_rows(8, 4, r) for r in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8)
+        ]
+
+    def test_uneven_split_clamps(self):
+        spans = [block_rows(10, 4, r) for r in range(4)]
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert sum(hi - lo for lo, hi in spans) == 10
+
+    def test_more_ranks_than_rows(self):
+        spans = [block_rows(2, 4, r) for r in range(4)]
+        assert spans[0] == (0, 1) and spans[1] == (1, 2)
+        assert spans[2][0] == spans[2][1]  # empty
+        assert spans[3][0] == spans[3][1]
+
+
+class TestMgKernels:
+    def setup_method(self):
+        rng = np.random.RandomState(0)
+        self.u = rng.standard_normal((8, 8, 8))
+        self.b = rng.standard_normal((8, 8, 8))
+
+    def test_jacobi_fixed_point_on_exact_solution(self):
+        """If b = A u, the Jacobi update leaves u unchanged."""
+        u = self.u.copy()
+        u[0] = u[-1] = 0
+        u[:, 0] = u[:, -1] = 0
+        u[:, :, 0] = u[:, :, -1] = 0
+        b = np.zeros_like(u)
+        for i in range(1, 7):
+            # b := A u  (so the residual is exactly zero)
+            b[i] = -residual_plane(u, np.zeros_like(u), i)
+        for i in range(1, 7):
+            updated = jacobi_plane(u, b, i)
+            assert np.allclose(updated, u[i], atol=1e-12)
+
+    def test_residual_zero_for_exact_solution(self):
+        u = np.zeros((8, 8, 8))
+        b = np.zeros((8, 8, 8))
+        for i in range(1, 7):
+            assert np.allclose(residual_plane(u, b, i), 0.0)
+
+    def test_restrict_injects_even_points(self):
+        res = np.arange(8**3, dtype=float).reshape(8, 8, 8)
+        coarse = restrict_grid(res, 2)
+        assert np.array_equal(coarse, res[4, ::2, ::2])
+
+    def test_prolong_even_plane_interpolates_bilinear(self):
+        uc = np.zeros((4, 4, 4))
+        uc[1, 1, 1] = 4.0
+        fine = prolong_grid(uc, 2, 8)  # even plane -> direct bilinear
+        assert fine[2, 2] == 4.0
+        assert fine[3, 2] == 2.0  # midpoint between coarse 1 and 2
+        assert fine[3, 3] == 1.0  # centre of the coarse cell
+
+    def test_vcycles_reduce_residual(self):
+        rng = np.random.RandomState(1)
+        rhs = np.zeros((16, 16, 16))
+        rhs[1:-1, 1:-1, 1:-1] = rng.standard_normal((14, 14, 14))
+        _u, norms = sequential_vcycles(16, 4, 2, 2, 8, rhs)
+        assert norms[-1] < 0.5 * norms[0]
+        assert all(b <= a * 1.0001 for a, b in zip(norms, norms[1:]))
+
+
+class TestShallowKernels:
+    def test_initial_fields_shapes_and_finite(self):
+        f = initial_fields(16)
+        for name in ("u", "v", "p"):
+            assert f[name].shape == (16, 16)
+            assert np.all(np.isfinite(f[name]))
+
+    def test_flux_rows_periodic_wrap(self):
+        f = initial_fields(8)
+        all_rows = np.arange(8)
+        cu_all, _cv, _z, _h = flux_rows(f["p"], f["u"], f["v"], all_rows)
+        top = flux_rows(f["p"], f["u"], f["v"], np.array([7]))[0]
+        assert np.allclose(top[0], cu_all[7])  # last row wraps to row 0
+
+    def test_sequential_integration_stable_and_finite(self):
+        out = sequential_shallow(16, 10, initial_fields(16))
+        for name in ("u", "v", "p"):
+            assert np.all(np.isfinite(out[name]))
+        # mass is nearly conserved by the scheme
+        assert out["p"].sum() == pytest.approx(initial_fields(16)["p"].sum(), rel=1e-3)
+
+    def test_advance_uses_old_time_level(self):
+        f = initial_fields(8)
+        for k in ("cu", "cv", "z", "h"):
+            f[k] = np.zeros((8, 8))
+        rows = np.arange(8)
+        unew, vnew, pnew = advance_rows(f, rows, 2 * 90.0)
+        # with zero fluxes the new level equals the old level
+        assert np.allclose(unew, f["uold"])
+        assert np.allclose(pnew, f["pold"])
+
+
+class TestWaterKernels:
+    def test_newtons_third_law_total_force_zero(self):
+        pos, _ = initial_molecules(27, seed=3)
+        total = pair_forces_for_block(pos, 0, 27)
+        assert np.allclose(total.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_block_decomposition_sums_to_full(self):
+        pos, _ = initial_molecules(20, seed=5)
+        full = pair_forces_for_block(pos, 0, 20)
+        partial = sum(
+            pair_forces_for_block(pos, *block_rows(20, 4, b)) for b in range(4)
+        )
+        assert np.allclose(full, partial, rtol=1e-12)
+
+    def test_cutoff_limits_interactions(self):
+        pos = np.array([[0.0, 0, 0], [10.0, 0, 0]])  # far apart
+        f = pair_forces_for_block(pos, 0, 2)
+        assert np.allclose(f, 0.0)
+
+    def test_sequential_water_moves_molecules(self):
+        pos0, _ = initial_molecules(27, seed=7)
+        pos, vel = sequential_water(27, 3, 4, seed=7)
+        assert not np.allclose(pos, pos0)
+        assert np.all(np.isfinite(pos)) and np.all(np.isfinite(vel))
+
+
+class TestSorKernels:
+    def test_boundary_rows_untouched(self):
+        g = sequential_sor(16, 3, initial_grid(16))
+        assert np.all(g[0] == 1.0)
+        assert np.all(g[-1] == 0.0)
+
+    def test_heat_diffuses_downward(self):
+        g = sequential_sor(16, 20, initial_grid(16))
+        assert g[1, 8] > 0  # interior warmed up
+        assert g[1, 8] > g[8, 8] > 0  # monotone-ish front

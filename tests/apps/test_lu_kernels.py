@@ -1,0 +1,58 @@
+"""Unit tests for the blocked-LU kernels."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import (
+    _solve_lower_unit,
+    _solve_upper_right,
+    block_owner,
+    initial_matrix,
+    lu_nopiv_inplace,
+    sequential_blocked_lu,
+)
+
+
+class TestLuKernels:
+    def test_lu_nopiv_reconstructs_matrix(self):
+        a0 = initial_matrix(8, seed=1)
+        a = a0.copy()
+        lu_nopiv_inplace(a)
+        lower = np.tril(a, -1) + np.eye(8)
+        upper = np.triu(a)
+        assert np.allclose(lower @ upper, a0, rtol=1e-10)
+
+    def test_solve_lower_unit(self):
+        a = initial_matrix(6, seed=2)
+        lu_nopiv_inplace(a)
+        lower = np.tril(a, -1) + np.eye(6)
+        b = np.arange(36, dtype=float).reshape(6, 6)
+        x = _solve_lower_unit(a, b)
+        assert np.allclose(lower @ x, b, rtol=1e-10)
+
+    def test_solve_upper_right(self):
+        a = initial_matrix(6, seed=3)
+        lu_nopiv_inplace(a)
+        upper = np.triu(a)
+        b = np.arange(36, dtype=float).reshape(6, 6) + 1
+        x = _solve_upper_right(a, b)
+        assert np.allclose(x @ upper, b, rtol=1e-10)
+
+    def test_blocked_lu_matches_unblocked(self):
+        n, b = 16, 4
+        blocks = sequential_blocked_lu(n, b, seed=4)
+        flat = blocks.swapaxes(1, 2).reshape(n, n)
+        ref = initial_matrix(n, seed=4)
+        lu_nopiv_inplace(ref)
+        assert np.allclose(flat, ref, rtol=1e-9)
+
+    def test_block_owner_scatter_covers_all_ranks(self):
+        owners = {block_owner(i, j, 4, 8) for i in range(4) for j in range(4)}
+        assert owners == set(range(8))
+
+    def test_block_size_validation(self):
+        from repro.apps.lu import LuApp
+        from repro.errors import ApplicationError
+
+        with pytest.raises(ApplicationError):
+            LuApp(n=30, block=8)

@@ -1,0 +1,98 @@
+"""Shared workloads for logging/recovery tests.
+
+Two small but protocol-rich applications:
+
+* :class:`BarrierApp` -- iterative halo-style kernel whose writers are
+  deliberately *not* the homes of their pages, so every iteration
+  produces remote diffs, asynchronous updates, invalidations, and
+  faults.
+* :class:`LockApp` -- lock-protected accumulations mixed with barriers,
+  exercising mid-interval acquires (window tags) and the lock-chain
+  notice propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+
+ELEMS = 512  # 2 KB of int32 -> 8 pages of 256 B
+
+
+class BarrierApp:
+    name = "barrier-app"
+
+    def __init__(self, iters=3, elems=ELEMS, flops=1e5, imbalance=0.0):
+        self.iters = iters
+        self.elems = elems
+        self.flops = flops
+        #: Per-rank compute skew; >0 creates barrier-wait time that
+        #: recovery (which never waits) gets to skip.
+        self.imbalance = imbalance
+
+    def allocate(self, space, nprocs):
+        space.allocate(
+            "x", (self.elems,), np.int32, init=np.zeros(self.elems, np.int32)
+        )
+
+    def homes(self, space, nprocs):
+        # homes shifted one rank off the writer partition: every write
+        # is remote, every iteration ships diffs
+        per = -(-space.npages // nprocs)
+        return [(min(p // per, nprocs - 1) + 1) % nprocs for p in range(space.npages)]
+
+    def program(self, dsm):
+        n = dsm.nprocs
+        chunk = self.elems // n
+        lo, hi = dsm.rank * chunk, (dsm.rank + 1) * chunk
+        nlo = ((dsm.rank + 1) % n) * chunk  # neighbour chunk to read
+        for it in range(self.iters):
+            yield from dsm.compute(self.flops * (1 + self.imbalance * dsm.rank))
+            # sparse writes: a few words per page change, as in real
+            # iterative kernels -- diffs stay far smaller than pages
+            yield from dsm.write("x", lo, hi)
+            dsm.arr("x")[lo:hi:8] = it * 100 + dsm.rank + 1
+            yield from dsm.barrier()
+            yield from dsm.read("x", nlo, nlo + chunk)
+            expected = it * 100 + ((dsm.rank + 1) % n) + 1
+            assert np.all(dsm.arr("x")[nlo : nlo + chunk : 8] == expected)
+            yield from dsm.barrier()
+
+
+class LockApp:
+    name = "lock-app"
+
+    def __init__(self, iters=2, counters=4):
+        self.iters = iters
+        self.counters = counters
+
+    def allocate(self, space, nprocs):
+        space.allocate(
+            "c", (self.counters,), np.int64,
+            init=np.zeros(self.counters, np.int64),
+        )
+        space.allocate("data", (ELEMS,), np.int32,
+                       init=np.zeros(ELEMS, np.int32))
+
+    def program(self, dsm):
+        n = dsm.nprocs
+        chunk = ELEMS // n
+        lo, hi = dsm.rank * chunk, (dsm.rank + 1) * chunk
+        for it in range(self.iters):
+            yield from dsm.write("data", lo, hi)
+            dsm.arr("data")[lo:hi] = it + dsm.rank
+            for c in range(self.counters):
+                yield from dsm.acquire(c)
+                yield from dsm.read("c", c, c + 1)
+                yield from dsm.write("c", c, c + 1)
+                dsm.arr("c")[c] += dsm.rank + 1
+                yield from dsm.release(c)
+            yield from dsm.barrier()
+        yield from dsm.read("c")
+        total = sum(range(1, n + 1)) * self.iters
+        assert np.all(dsm.arr("c") == total)
+
+
+@pytest.fixture
+def small_cluster():
+    return ClusterConfig.ultra5(num_nodes=4, page_size=256)

@@ -1,0 +1,77 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.core.detector import FailureDetector
+from repro.errors import ConfigError
+from repro.sim import Network, Simulator, Timeout
+
+
+def build(num_nodes=4, period=5e-3, misses=3):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), num_nodes=num_nodes)
+    det = FailureDetector(sim, net, monitor=0, period_s=period,
+                          misses_allowed=misses)
+    monitor = sim.spawn(det.monitor_loop(), name="monitor")
+    responders = [
+        sim.spawn(FailureDetector.responder_loop(net, i), name=f"hb{i}")
+        for i in range(1, num_nodes)
+    ]
+    return sim, det, monitor, responders
+
+
+def test_parameter_validation():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), num_nodes=2)
+    with pytest.raises(ConfigError):
+        FailureDetector(sim, net, 0, period_s=0)
+    with pytest.raises(ConfigError):
+        FailureDetector(sim, net, 0, misses_allowed=0)
+
+
+def test_healthy_cluster_raises_no_suspicion():
+    sim, det, monitor, responders = build()
+    sim.run(until=0.2, detect_deadlock=False)
+    assert det.suspected == {}
+    assert not det.on_failure.triggered
+    monitor.kill()
+    for r in responders:
+        r.kill()
+
+
+def test_killed_node_is_detected_within_bound():
+    sim, det, monitor, responders = build(period=5e-3, misses=3)
+    crash_time = 0.05
+
+    def killer():
+        yield Timeout(crash_time)
+        responders[1].kill()  # node 2 stops answering
+
+    sim.spawn(killer(), name="killer")
+    sim.run(until=0.5, detect_deadlock=False)
+    assert 2 in det.suspected
+    latency = det.suspected[2] - crash_time
+    # detection within (misses + slack) periods of the crash
+    assert 0 < latency < 6 * det.period_s
+    assert det.on_failure.triggered
+    node, t = det.on_failure.value
+    assert node == 2 and t == det.suspected[2]
+    monitor.kill()
+    for r in responders:
+        r.kill()
+
+
+def test_survivors_stay_trusted_after_a_failure():
+    sim, det, monitor, responders = build(period=5e-3, misses=3)
+
+    def killer():
+        yield Timeout(0.03)
+        responders[0].kill()  # node 1 dies
+
+    sim.spawn(killer(), name="killer")
+    sim.run(until=0.4, detect_deadlock=False)
+    assert set(det.suspected) == {1}
+    monitor.kill()
+    for r in responders:
+        r.kill()

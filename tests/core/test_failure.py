@@ -1,0 +1,76 @@
+"""Tests for failure specification and crash-point capture."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrashProbe, FailureSpec, make_hooks_factory
+from repro.dsm import DsmSystem
+from repro.memory import PageState
+from tests.core.conftest import BarrierApp
+
+
+def test_failure_spec_validation():
+    with pytest.raises(ValueError):
+        FailureSpec(node=-1, at_seal=1)
+    with pytest.raises(ValueError):
+        FailureSpec(node=0, at_seal=0)
+    spec = FailureSpec(node=2, at_seal=5)
+    assert spec.node == 2 and spec.at_seal == 5
+
+
+class TestCrashProbe:
+    def test_snapshot_taken_at_requested_seal(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=3), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=1, at_seal=2)
+        system.add_probe(probe)
+        system.run()
+        snap = probe.snapshot
+        assert snap is not None
+        assert snap.node_id == 1
+        assert snap.seal_count == 2
+        assert snap.time > 0
+        assert isinstance(snap.memory, np.ndarray)
+
+    def test_none_seal_keeps_last(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=3), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=1)
+        system.add_probe(probe)
+        system.run()
+        # 3 iterations x 2 barriers = 6 seals
+        assert probe.snapshot.seal_count == 6
+
+    def test_snapshot_page_states_plausible(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=2), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=0)
+        system.add_probe(probe)
+        system.run()
+        states = [s for (s, _v) in probe.snapshot.page_states.values()]
+        # at a seal there are no dirty pages: twins were diffed away
+        assert PageState.DIRTY not in states
+        assert PageState.CLEAN in states
+
+    def test_probe_ignores_other_nodes(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=2), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=3, at_seal=1)
+        system.add_probe(probe)
+        system.run()
+        assert probe.snapshot.node_id == 3
+
+    def test_probe_force_seals_victim_log(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=2), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=1, at_seal=4)
+        system.add_probe(probe)
+        system.run()
+        log = system.nodes[1].hooks.log
+        # everything the victim buffered through seal 4 is queryable
+        assert log.bundle(3)  # interval 3 sealed by sync op 4

@@ -1,0 +1,137 @@
+"""Integration tests for crash recovery (both protocols).
+
+The central invariant: replaying a crashed node from its log must
+reproduce its memory image, page states, page versions, and vector
+clock **bit-for-bit** as they were at the crash point -- and do so
+faster than re-executing the program.
+"""
+
+import pytest
+
+from repro.core import run_recovery_experiment
+from repro.dsm import DsmSystem
+from repro.errors import RecoveryError
+from tests.core.conftest import BarrierApp, LockApp
+
+
+def reexecution_time(app, config):
+    """The paper's baseline: rerun from the global initial state."""
+    return DsmSystem(app, config).run().total_time
+
+
+class TestRecoveryCorrectness:
+    @pytest.mark.parametrize("protocol", ["ml", "ccl"])
+    @pytest.mark.parametrize("failed_node", [0, 1, 3])
+    def test_barrier_app_recovers_exact_state(
+        self, small_cluster, protocol, failed_node
+    ):
+        res = run_recovery_experiment(
+            BarrierApp(iters=3), small_cluster, protocol, failed_node
+        )
+        assert res.ok, res.mismatches
+        assert res.recovery_time > 0
+
+    @pytest.mark.parametrize("protocol", ["ml", "ccl"])
+    @pytest.mark.parametrize("failed_node", [0, 2])
+    def test_lock_app_recovers_exact_state(
+        self, small_cluster, protocol, failed_node
+    ):
+        res = run_recovery_experiment(
+            LockApp(iters=2), small_cluster, protocol, failed_node
+        )
+        assert res.ok, res.mismatches
+
+    @pytest.mark.parametrize("protocol", ["ml", "ccl"])
+    def test_recovery_at_intermediate_seal(self, small_cluster, protocol):
+        res = run_recovery_experiment(
+            BarrierApp(iters=4, flops=1e6, imbalance=2.0), small_cluster, protocol, failed_node=1, at_seal=3
+        )
+        assert res.ok, res.mismatches
+        assert res.at_seal == 3
+
+    def test_recovery_time_grows_with_crash_point(self, small_cluster):
+        times = []
+        for seal in (2, 4, 6):
+            res = run_recovery_experiment(
+                BarrierApp(iters=4, flops=1e6, imbalance=2.0), small_cluster, "ccl",
+                failed_node=1, at_seal=seal,
+            )
+            assert res.ok, res.mismatches
+            times.append(res.recovery_time)
+        assert times[0] < times[1] < times[2]
+
+
+class TestRecoverySpeed:
+    def test_recovery_faster_than_reexecution(self, small_cluster):
+        app = BarrierApp(iters=4, flops=1e6, imbalance=2.0)
+        t_reexec = reexecution_time(BarrierApp(iters=4, flops=1e6, imbalance=2.0), small_cluster)
+        for protocol in ("ml", "ccl"):
+            res = run_recovery_experiment(
+                BarrierApp(iters=4, flops=1e6, imbalance=2.0), small_cluster, protocol, failed_node=1
+            )
+            assert res.ok, res.mismatches
+            assert res.recovery_time < t_reexec, protocol
+
+    def test_ccl_recovery_beats_ml_recovery(self, small_cluster):
+        """With enough pages per interval, batched prefetch beats the
+        per-miss disk reads of ML-recovery (the paper's regime)."""
+        app = lambda: BarrierApp(  # noqa: E731
+            iters=4, elems=2048, flops=1e6, imbalance=2.0
+        )
+        ml = run_recovery_experiment(app(), small_cluster, "ml", failed_node=1)
+        ccl = run_recovery_experiment(app(), small_cluster, "ccl", failed_node=1)
+        assert ml.ok and ccl.ok
+        assert ccl.recovery_time < ml.recovery_time
+
+    def test_ml_pays_memory_miss_idle_ccl_does_not(self, small_cluster):
+        ml = run_recovery_experiment(
+            BarrierApp(iters=3), small_cluster, "ml", failed_node=1
+        )
+        ccl = run_recovery_experiment(
+            BarrierApp(iters=3), small_cluster, "ccl", failed_node=1
+        )
+        # ML replays faults against the disk log
+        assert ml.replay_stats.counters.get("replay_faults", 0) > 0
+        assert ml.replay_stats.time.get("miss_read") > 0
+        # CCL prefetches everything: zero replay faults by construction
+        assert ccl.replay_stats.counters.get("replay_faults", 0) == 0
+        assert ccl.replay_stats.counters.get("pages_prefetched", 0) > 0
+
+    def test_ccl_reconstructs_old_versions_when_home_advanced(self, small_cluster):
+        """Crashing mid-run forces the checkpoint+diff reconstruction path."""
+        res = run_recovery_experiment(
+            BarrierApp(iters=4, flops=1e6, imbalance=2.0), small_cluster, "ccl", failed_node=1, at_seal=3
+        )
+        assert res.ok, res.mismatches
+        assert res.replay_stats.counters.get("prefetch_rebuilt", 0) > 0
+
+    def test_prefetch_modes_cover_all_pages(self, small_cluster):
+        """Every prefetched page is served warm (delta), direct, or
+        rebuilt from a checkpoint -- and none of them faults."""
+        res = run_recovery_experiment(
+            BarrierApp(iters=3), small_cluster, "ccl", failed_node=1
+        )
+        assert res.ok
+        c = res.replay_stats.counters
+        modes = (
+            c.get("prefetch_direct", 0)
+            + c.get("prefetch_delta", 0)
+            + c.get("prefetch_rebuilt", 0)
+        )
+        assert modes == c.get("pages_prefetched", 0) > 0
+        assert c.get("replay_faults", 0) == 0
+
+
+class TestRecoveryErrors:
+    def test_recovery_requires_logging_protocol(self, small_cluster):
+        with pytest.raises(RecoveryError):
+            run_recovery_experiment(
+                BarrierApp(iters=2), small_cluster, "none", failed_node=0
+            )
+
+    def test_unreachable_seal_raises(self, small_cluster):
+        with pytest.raises(RecoveryError, match="never reached"):
+            run_recovery_experiment(
+                BarrierApp(iters=2), small_cluster, "ccl",
+                failed_node=0, at_seal=999,
+            )

@@ -1,0 +1,159 @@
+"""Unit tests for the stable-storage log."""
+
+import numpy as np
+import pytest
+
+from repro.config import DiskConfig
+from repro.core import (
+    FetchLogRecord,
+    NoticeLogRecord,
+    OwnDiffLogRecord,
+    StableLog,
+)
+from repro.dsm import IntervalRecord, VectorClock
+from repro.errors import LoggingProtocolError
+from repro.memory import Diff
+from repro.sim import Disk, Simulator
+
+
+def make_log(sim=None, latency=0.01, bw=1e6):
+    sim = sim or Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=latency, write_latency_s=latency,
+                   bandwidth_bps=bw),
+    )
+    return StableLog(disk), sim
+
+
+def notice(interval, window=0, npages=2):
+    rec = IntervalRecord(0, 0, VectorClock((1, 0)), tuple(range(npages)))
+    return NoticeLogRecord(interval, window, [rec])
+
+
+def own_diff(interval, vt_index, page, home=False):
+    d = Diff(page, [(0, np.array([7], dtype=np.uint32))])
+    if home:
+        return OwnDiffLogRecord(interval, 0, vt_index=vt_index,
+                                vt=VectorClock((1, 0)), home_diffs=[d])
+    return OwnDiffLogRecord(interval, 0, vt_index=vt_index,
+                            vt=VectorClock((1, 0)), diffs=[d])
+
+
+class TestBuffering:
+    def test_append_accumulates_volatile_bytes(self):
+        log, _sim = make_log()
+        r = notice(0)
+        log.append(r)
+        assert log.volatile_bytes == r.nbytes
+        log.append(notice(0))
+        assert log.volatile_bytes == 2 * r.nbytes
+
+    def test_volatile_peak_tracked(self):
+        log, _sim = make_log()
+        log.append(notice(0))
+        peak = log.volatile_peak_bytes
+        log.force_seal()
+        assert log.volatile_bytes == 0
+        assert log.volatile_peak_bytes == peak
+
+
+class TestFlushing:
+    def test_sync_flush_blocks_and_counts(self):
+        log, sim = make_log(latency=0.5, bw=1e9)
+        log.append(notice(0))
+        spent = {}
+
+        def body():
+            spent["t"] = yield from log.flush_sync()
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert spent["t"] == pytest.approx(0.5, rel=1e-3)
+        assert log.num_flushes == 1
+        assert log.bytes_flushed > 0
+        assert log.volatile_bytes == 0
+
+    def test_empty_sync_flush_is_free_and_uncounted(self):
+        log, sim = make_log()
+
+        def body():
+            t = yield from log.flush_sync()
+            assert t == 0.0
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert log.num_flushes == 0
+        assert log.disk.num_writes == 0
+
+    def test_async_flush_returns_signal(self):
+        log, sim = make_log(latency=0.25, bw=1e9)
+        log.append(notice(0))
+        sig = log.flush_async()
+        assert sig is not None and not sig.triggered
+        sim.run()
+        assert sig.triggered
+        assert log.num_flushes == 1
+
+    def test_async_flush_empty_returns_none(self):
+        log, _sim = make_log()
+        assert log.flush_async() is None
+
+    def test_force_seal_moves_without_disk(self):
+        log, _sim = make_log()
+        log.append(notice(3))
+        assert log.force_seal() == 1
+        assert log.num_flushes == 0
+        assert log.disk.num_writes == 0
+        assert len(log.bundle(3)) == 1
+
+    def test_mean_accounting_through_summary(self):
+        log, sim = make_log()
+        log.append(notice(0))
+        log.flush_async()
+        log.append(notice(1))
+        log.append(notice(1))
+        log.flush_async()
+        sim.run()
+        s = log.summary()
+        assert s["flushes"] == 2
+        assert s["records"] == 3
+        assert s["bytes_flushed"] == log.bytes_flushed
+
+
+class TestQueries:
+    def test_bundle_filters_by_interval(self):
+        log, _sim = make_log()
+        log.append(notice(0))
+        log.append(notice(1))
+        log.append(notice(1, window=2))
+        log.force_seal()
+        assert len(log.bundle(0)) == 1
+        assert len(log.bundle(1)) == 2
+        assert log.bundle_bytes(1) == sum(r.nbytes for r in log.bundle(1))
+
+    def test_select_by_type_and_window(self):
+        log, _sim = make_log()
+        log.append(notice(0, window=1))
+        log.append(FetchLogRecord(0, 1, page=5, version=VectorClock((1, 0))))
+        log.force_seal()
+        assert len(log.select(NoticeLogRecord, interval=0)) == 1
+        assert len(log.select(FetchLogRecord, interval=0, window=1)) == 1
+        assert log.select(FetchLogRecord, interval=0, window=2) == []
+
+    def test_find_own_diff_by_page_and_interval(self):
+        log, _sim = make_log()
+        log.append(own_diff(0, vt_index=0, page=3))
+        log.append(own_diff(1, vt_index=1, page=3))
+        log.append(own_diff(2, vt_index=2, page=9, home=True))
+        log.force_seal()
+        d, vt = log.find_own_diff(3, 1)
+        assert d.page == 3
+        d, vt = log.find_own_diff(9, 2)  # home-write diffs are findable too
+        assert d.page == 9
+
+    def test_find_own_diff_missing_raises(self):
+        log, _sim = make_log()
+        log.force_seal()
+        with pytest.raises(LoggingProtocolError):
+            log.find_own_diff(0, 0)

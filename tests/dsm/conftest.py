@@ -1,0 +1,54 @@
+"""Shared helpers for DSM integration tests."""
+
+from typing import Callable, Optional
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.dsm import DsmSystem
+
+
+class MiniApp:
+    """Ad-hoc application assembled from allocate/program callables."""
+
+    def __init__(self, alloc, program, homes=None, name="mini"):
+        self.name = name
+        self._alloc = alloc
+        self._program = program
+        self._homes = homes
+
+    def allocate(self, space, nprocs):
+        self._alloc(space, nprocs)
+
+    def homes(self, space, nprocs):
+        if self._homes is None:
+            return None
+        return self._homes(space, nprocs)
+
+    def program(self, dsm):
+        yield from self._program(dsm)
+
+
+def small_config(nprocs=4, **overrides) -> ClusterConfig:
+    """A cluster with small pages so tests exercise many page states."""
+    overrides.setdefault("page_size", 256)
+    return ClusterConfig.ultra5(num_nodes=nprocs, **overrides)
+
+
+def run_app(
+    alloc: Callable,
+    program: Callable,
+    nprocs: int = 4,
+    homes: Optional[Callable] = None,
+    config: Optional[ClusterConfig] = None,
+    hooks_factory=None,
+):
+    """Build a system for a MiniApp, run it, return (result, system)."""
+    app = MiniApp(alloc, program, homes)
+    system = DsmSystem(app, config or small_config(nprocs), hooks_factory)
+    return system.run(), system
+
+
+@pytest.fixture
+def mini_runner():
+    return run_app

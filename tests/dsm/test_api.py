@@ -1,0 +1,93 @@
+"""Unit tests for the application-facing DSM handle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ApplicationError, MemoryLayoutError
+from tests.dsm.conftest import MiniApp, run_app
+
+
+def alloc(space, nprocs):
+    space.allocate("a", (128,), np.float64, init=np.zeros(128))
+    space.allocate("b", (4, 4), np.int32, init=np.zeros((4, 4), np.int32))
+
+
+class TestDsmFacade:
+    def test_rank_and_size_exposed(self):
+        seen = {}
+
+        def program(dsm):
+            seen[dsm.rank] = dsm.nprocs
+            yield from dsm.barrier()
+
+        run_app(alloc, program, nprocs=3)
+        assert seen == {0: 3, 1: 3, 2: 3}
+
+    def test_arr_returns_shaped_views(self):
+        def program(dsm):
+            assert dsm.arr("a").shape == (128,)
+            assert dsm.arr("b").shape == (4, 4)
+            assert dsm.arr("b").dtype == np.int32
+            yield from dsm.barrier()
+
+        run_app(alloc, program, nprocs=2)
+
+    def test_unknown_variable_raises(self):
+        def program(dsm):
+            with pytest.raises(ApplicationError):
+                dsm.arr("zzz")
+            yield from dsm.barrier()
+
+        run_app(alloc, program, nprocs=2)
+
+    def test_read_defaults_to_whole_variable(self):
+        def program(dsm):
+            if dsm.rank == 0:
+                yield from dsm.write("a")
+                dsm.arr("a")[:] = 1.5
+            yield from dsm.barrier()
+            yield from dsm.read("a")  # no bounds: everything
+            assert dsm.arr("a")[127] == 1.5
+
+        run_app(alloc, program, nprocs=2,
+                homes=lambda s, n: [0] * s.npages)
+
+    def test_out_of_range_access_rejected(self):
+        def program(dsm):
+            with pytest.raises(MemoryLayoutError):
+                yield from dsm.read("a", 0, 999)
+            yield from dsm.barrier()
+
+        run_app(alloc, program, nprocs=2)
+
+    def test_pages_of_maps_elements_to_pages(self):
+        captured = {}
+
+        def program(dsm):
+            captured["pages"] = list(dsm.pages_of("a", 0, 32))
+            yield from dsm.barrier()
+
+        run_app(alloc, program, nprocs=2)
+        # 32 float64 = 256 B = exactly the first (256-byte) test page
+        assert captured["pages"] == [0]
+
+    def test_page_level_annotations(self):
+        def program(dsm):
+            if dsm.rank == 0:
+                yield from dsm.write_pages([0])
+                dsm.arr("a")[0] = 9.0
+            yield from dsm.barrier()
+            yield from dsm.read_pages([0])
+            assert dsm.arr("a")[0] == 9.0
+
+        run_app(alloc, program, nprocs=2,
+                homes=lambda s, n: [0] * s.npages)
+
+    def test_compute_charges_time(self):
+        def program(dsm):
+            yield from dsm.compute(3e6)
+            yield from dsm.barrier()
+
+        result, _sys = run_app(alloc, program, nprocs=2)
+        per_node = 3e6 / result.config.cpu.flop_rate
+        assert result.aggregate.time.get("compute") == pytest.approx(2 * per_node)

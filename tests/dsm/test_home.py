@@ -1,0 +1,48 @@
+"""Unit tests for home-assignment policies."""
+
+import pytest
+
+from repro.dsm import (
+    block_homes,
+    explicit_homes,
+    first_page_homes,
+    round_robin_homes,
+)
+from repro.dsm.home import POLICIES
+from repro.errors import ConfigError
+
+
+def test_round_robin():
+    assert round_robin_homes(6, 3) == [0, 1, 2, 0, 1, 2]
+
+
+def test_block_contiguous():
+    assert block_homes(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_block_uneven_clamps_last_node():
+    homes = block_homes(7, 3)
+    assert homes == [0, 0, 0, 1, 1, 1, 2]
+    assert max(homes) == 2
+
+
+def test_first_page_homes():
+    assert first_page_homes(4, 8) == [0, 0, 0, 0]
+
+
+def test_explicit_passthrough_and_validation():
+    pol = explicit_homes([1, 0, 1])
+    assert pol(3, 2) == [1, 0, 1]
+    with pytest.raises(ConfigError):
+        pol(4, 2)  # wrong page count
+    with pytest.raises(ConfigError):
+        explicit_homes([5])(1, 2)  # home id out of range
+
+
+def test_registry_names():
+    assert set(POLICIES) == {"round_robin", "block", "first"}
+
+
+def test_bad_arguments_rejected():
+    with pytest.raises(ConfigError):
+        round_robin_homes(4, 0)

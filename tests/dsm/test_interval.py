@@ -1,0 +1,138 @@
+"""Unit + property tests for vector clocks and interval records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsm import IntervalRecord, IntervalTable, VectorClock
+from repro.errors import ProtocolError
+
+vcs = st.lists(st.integers(0, 20), min_size=4, max_size=4).map(VectorClock)
+
+
+class TestVectorClock:
+    def test_zero(self):
+        vt = VectorClock.zero(3)
+        assert vt.as_tuple() == (0, 0, 0)
+        assert vt.total == 0
+
+    def test_tick_increments_one_component(self):
+        vt = VectorClock.zero(3).tick(1)
+        assert vt.as_tuple() == (0, 1, 0)
+
+    def test_tick_is_pure(self):
+        a = VectorClock.zero(2)
+        b = a.tick(0)
+        assert a.as_tuple() == (0, 0) and b.as_tuple() == (1, 0)
+
+    def test_merge_componentwise_max(self):
+        a = VectorClock((1, 5, 0))
+        b = VectorClock((2, 3, 4))
+        assert a.merge(b).as_tuple() == (2, 5, 4)
+
+    def test_dominates_partial_order(self):
+        a = VectorClock((2, 2))
+        b = VectorClock((1, 2))
+        c = VectorClock((2, 1))
+        assert a.dominates(b) and a.dominates(c)
+        assert not b.dominates(c) and not c.dominates(b)
+        assert a.dominates(a)
+
+    def test_covers_interval(self):
+        vt = VectorClock((2, 0))
+        assert vt.covers_interval(0, 0)
+        assert vt.covers_interval(0, 1)
+        assert not vt.covers_interval(0, 2)
+        assert not vt.covers_interval(1, 0)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            VectorClock((1,)).merge(VectorClock((1, 2)))
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ProtocolError):
+            VectorClock((-1, 0))
+
+    def test_equality_and_hash(self):
+        assert VectorClock((1, 2)) == VectorClock((1, 2))
+        assert hash(VectorClock((1, 2))) == hash(VectorClock((1, 2)))
+        assert VectorClock((1, 2)) != VectorClock((2, 1))
+
+    def test_nbytes(self):
+        assert VectorClock.zero(8).nbytes == 32
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=vcs, b=vcs)
+    def test_property_merge_commutative_and_dominating(self, a, b):
+        m = a.merge(b)
+        assert m == b.merge(a)
+        assert m.dominates(a) and m.dominates(b)
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=vcs, b=vcs, c=vcs)
+    def test_property_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=vcs, b=vcs)
+    def test_property_total_monotone_under_dominance(self, a, b):
+        if a.dominates(b):
+            assert a.total >= b.total
+
+
+class TestIntervalRecord:
+    def test_nbytes_accounting(self):
+        r = IntervalRecord(1, 0, VectorClock((1, 0)), (3, 4, 5))
+        assert r.nbytes == IntervalRecord.META_BYTES + 8 + 12
+
+    def test_key(self):
+        r = IntervalRecord(2, 7, VectorClock.zero(3), ())
+        assert r.key == (2, 7)
+
+
+class TestIntervalTable:
+    def make_record(self, node, index, vt_vals, pages=()):
+        return IntervalRecord(node, index, VectorClock(vt_vals), tuple(pages))
+
+    def test_add_and_duplicate(self):
+        t = IntervalTable()
+        r = self.make_record(0, 0, (1, 0))
+        assert t.add(r) is True
+        assert t.add(r) is False
+        assert len(t) == 1
+        assert (0, 0) in t
+
+    def test_get_unknown_raises(self):
+        t = IntervalTable()
+        with pytest.raises(ProtocolError):
+            t.get(0, 3)
+
+    def test_records_not_covered_filters_and_orders(self):
+        t = IntervalTable()
+        r00 = self.make_record(0, 0, (1, 0))
+        r01 = self.make_record(0, 1, (2, 1))
+        r10 = self.make_record(1, 0, (0, 1))
+        t.add_all([r01, r10, r00])
+        out = t.records_not_covered_by(VectorClock((1, 0)))
+        # r00 covered (vt[0]=1 >= 0+1); r10 and r01 not; ordered by vt.total
+        assert out == [r10, r01]
+
+    def test_records_not_covered_causal_order_is_linear_extension(self):
+        t = IntervalTable()
+        recs = [
+            self.make_record(0, 0, (1, 0, 0)),
+            self.make_record(1, 0, (1, 1, 0)),  # saw node0's interval
+            self.make_record(0, 1, (2, 1, 0)),  # saw node1's interval
+            self.make_record(2, 0, (0, 0, 1)),  # concurrent with all
+        ]
+        t.add_all(recs)
+        out = t.records_not_covered_by(VectorClock.zero(3))
+        pos = {r.key: i for i, r in enumerate(out)}
+        assert pos[(0, 0)] < pos[(1, 0)] < pos[(0, 1)]
+
+    def test_all_records(self):
+        t = IntervalTable()
+        r1 = self.make_record(0, 0, (1, 0))
+        r2 = self.make_record(1, 0, (1, 1))
+        t.add_all([r2, r1])
+        assert t.all_records() == [r1, r2]

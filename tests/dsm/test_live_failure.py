@@ -1,0 +1,83 @@
+"""Live-kill demonstration: an unrecovered crash stalls the cluster.
+
+The paper's motivation in one test: without a recovery protocol, a
+single node failure leaves every survivor blocked at the next barrier
+or lock, and the whole computation is lost.  Combined with the
+heartbeat detector, this is the "failure is detected" moment recovery
+starts from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.detector import FailureDetector
+from repro.dsm import DsmSystem
+from repro.errors import ConfigError
+from tests.dsm.conftest import MiniApp, small_config
+
+
+def barrier_app(iters=6):
+    def alloc(space, nprocs):
+        space.allocate("x", (64,), np.int32, init=np.zeros(64, np.int32))
+
+    def program(dsm):
+        for it in range(iters):
+            yield from dsm.compute(1e5)
+            if dsm.rank == 0:
+                yield from dsm.write("x")
+                dsm.arr("x")[:] = it
+            yield from dsm.barrier()
+            yield from dsm.read("x")
+
+    return MiniApp(alloc, program)
+
+
+class TestLiveKill:
+    def test_crash_stalls_every_survivor(self):
+        system = DsmSystem(barrier_app(), small_config(4))
+        result = system.run(kill_node=2, kill_at=0.004)
+        assert not result.completed
+        # every surviving main is stuck (at a barrier, forever)
+        assert {"main0", "main1", "main3"} <= set(result.blocked)
+        assert "main2" not in result.blocked  # the victim is dead, not blocked
+        assert result.total_time >= 0.004
+
+    def test_crash_after_completion_is_harmless(self):
+        system = DsmSystem(barrier_app(iters=1), small_config(2))
+        result = system.run(kill_node=1, kill_at=10.0)  # way past the end
+        assert result.completed
+        assert result.blocked == []
+
+    def test_kill_node_validated(self):
+        system = DsmSystem(barrier_app(), small_config(2))
+        with pytest.raises(ConfigError):
+            system.run(kill_node=9, kill_at=0.001)
+
+    def test_normal_run_reports_completed(self):
+        system = DsmSystem(barrier_app(iters=2), small_config(2))
+        result = system.run()
+        assert result.completed and result.blocked == []
+
+    def test_detector_notices_the_live_crash(self):
+        """Heartbeats + live kill: the monitor declares the victim dead
+        while the survivors are stuck."""
+        system = DsmSystem(barrier_app(iters=50), small_config(4))
+        det = FailureDetector(system.sim, system.network, monitor=0,
+                              period_s=2e-3, misses_allowed=3)
+        system.sim.spawn(det.monitor_loop(), name="hb-monitor")
+        hb = [
+            system.sim.spawn(FailureDetector.responder_loop(system.network, i),
+                             name=f"hb{i}")
+            for i in range(1, 4)
+        ]
+        kill_at = 0.01
+        # the crash silences the node's heartbeat responder too
+        system.sim.schedule(kill_at, hb[1].kill)
+        result = system.run(kill_node=2, kill_at=kill_at)
+        assert not result.completed
+        assert 2 in det.suspected
+        detection_latency = det.suspected[2] - kill_at
+        assert 0 < detection_latency < 10 * det.period_s
+        for proc in hb:
+            proc.kill()

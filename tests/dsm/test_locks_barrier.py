@@ -1,0 +1,120 @@
+"""Unit tests for manager-side lock and barrier state machines."""
+
+import pytest
+
+from repro.dsm.barrier import BarrierState
+from repro.dsm.interval import VectorClock
+from repro.dsm.locks import LockState
+from repro.errors import SynchronizationError
+
+VT = VectorClock.zero(2)
+
+
+class TestLockState:
+    def test_acquire_free_lock(self):
+        s = LockState(0)
+        assert s.try_acquire(1, VT) is True
+        assert s.held and s.holder == 1
+
+    def test_acquire_held_lock_queues(self):
+        s = LockState(0)
+        s.try_acquire(1, VT)
+        assert s.try_acquire(2, VT) is False
+        assert list(n for n, _ in s.queue) == [2]
+
+    def test_release_hands_to_queue_head_fifo(self):
+        s = LockState(0)
+        s.try_acquire(1, VT)
+        s.try_acquire(2, VT)
+        s.try_acquire(3, VT)
+        nxt = s.release(1)
+        assert nxt[0] == 2 and s.holder == 2 and s.held
+        nxt = s.release(2)
+        assert nxt[0] == 3
+        assert s.release(3) is None
+        assert not s.held and s.holder is None
+
+    def test_release_by_non_holder_rejected(self):
+        s = LockState(0)
+        s.try_acquire(1, VT)
+        with pytest.raises(SynchronizationError):
+            s.release(2)
+
+    def test_release_free_lock_rejected(self):
+        s = LockState(0)
+        with pytest.raises(SynchronizationError):
+            s.release(1)
+
+    def test_grant_count(self):
+        s = LockState(0)
+        s.try_acquire(1, VT)
+        s.try_acquire(2, VT)
+        s.release(1)
+        assert s.grants == 2
+
+
+class TestBarrierState:
+    def test_completes_when_all_checked_in(self):
+        b = BarrierState(3)
+        s0 = b.checkin(0, VT, 0)
+        assert not s0.triggered
+        b.checkin(1, VT, 0)
+        assert not b.complete
+        b.checkin(2, VT, 0)
+        assert b.complete
+        assert s0.triggered and s0.value == 0
+
+    def test_double_checkin_rejected(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        with pytest.raises(SynchronizationError):
+            b.checkin(0, VT, 0)
+
+    def test_participant_vts_requires_completion(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        with pytest.raises(SynchronizationError):
+            b.participant_vts()
+        vt1 = VectorClock((1, 1))
+        b.checkin(1, vt1, 0)
+        assert b.participant_vts() == [(0, VT), (1, vt1)]
+
+    def test_next_episode_resets(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        b.checkin(1, VT, 0)
+        b.next_episode()
+        assert b.episode == 1
+        sig = b.checkin(0, VT, 1)  # same node may check in again
+        assert not sig.triggered
+
+    def test_next_episode_requires_completion(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        with pytest.raises(SynchronizationError):
+            b.next_episode()
+
+    def test_early_checkin_for_next_episode_is_queued(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        b.checkin(1, VT, 0)
+        # node 1 races ahead: checks in for episode 1 before rollover
+        b.checkin(1, VT, 1)
+        assert b.complete  # episode 0 still complete
+        b.next_episode()
+        assert b.episode == 1
+        sig = b.checkin(0, VT, 1)
+        assert sig.triggered  # node 1's early arrival was replayed
+
+    def test_double_early_checkin_rejected(self):
+        b = BarrierState(2)
+        b.checkin(0, VT, 0)
+        b.checkin(1, VT, 0)
+        b.checkin(1, VT, 1)
+        with pytest.raises(SynchronizationError):
+            b.checkin(1, VT, 1)
+
+    def test_two_episodes_ahead_rejected(self):
+        b = BarrierState(2)
+        with pytest.raises(SynchronizationError):
+            b.checkin(0, VT, 2)

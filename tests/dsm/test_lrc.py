@@ -1,0 +1,238 @@
+"""Tests for the homeless (TreadMarks-style) LRC protocol.
+
+The extension the paper's related work contrasts against: diffs stay at
+their writers, faults gather them per writer, and the diff repository
+grows without garbage collection.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import make_app
+from repro.config import ClusterConfig
+from repro.dsm import DsmSystem
+from repro.errors import ConfigError, ProtocolError
+from repro.core import make_hooks_factory
+from tests.dsm.conftest import MiniApp, run_app, small_config
+from tests.dsm.test_coherence_random import (
+    CHUNK,
+    CHUNKS,
+    ELEMS,
+    NPROCS,
+    barrier_programs,
+    reference_final,
+)
+
+
+def run_lrc(alloc, program, nprocs=4, config=None):
+    app = MiniApp(alloc, program)
+    system = DsmSystem(app, config or small_config(nprocs), coherence="lrc")
+    return system.run(), system
+
+
+def alloc_x(space, nprocs):
+    space.allocate("x", (64,), np.int32, init=np.zeros(64, np.int32))
+
+
+class TestLrcBasics:
+    def test_unknown_coherence_rejected(self):
+        with pytest.raises(ConfigError):
+            DsmSystem(MiniApp(alloc_x, lambda dsm: iter(())),
+                      small_config(2), coherence="magic")
+
+    def test_logging_protocols_rejected(self):
+        app = MiniApp(alloc_x, lambda dsm: iter(()))
+        with pytest.raises(Exception):
+            DsmSystem(app, small_config(2), make_hooks_factory("ccl"),
+                      coherence="lrc")
+
+    def test_single_writer_propagation(self):
+        seen = {}
+
+        def program(dsm):
+            if dsm.rank == 0:
+                yield from dsm.write("x")
+                dsm.arr("x")[:] = np.arange(64)
+            yield from dsm.barrier()
+            yield from dsm.read("x")
+            seen[dsm.rank] = dsm.arr("x").copy()
+
+        run_lrc(alloc_x, program, nprocs=4)
+        for rank in range(4):
+            assert np.array_equal(seen[rank], np.arange(64)), rank
+
+    def test_no_page_transfers_only_diffs(self):
+        def program(dsm):
+            if dsm.rank == 0:
+                yield from dsm.write("x")
+                dsm.arr("x")[:] = 7
+            yield from dsm.barrier()
+            yield from dsm.read("x")
+
+        result, system = run_lrc(alloc_x, program, nprocs=2)
+        assert "page" not in result.bytes_by_kind
+        assert "lrc_diff_reply" in result.bytes_by_kind
+
+    def test_diff_repository_grows_and_is_never_collected(self):
+        def program(dsm):
+            for it in range(4):
+                if dsm.rank == 0:
+                    yield from dsm.write("x")
+                    dsm.arr("x")[:] = it + 1
+                yield from dsm.barrier()
+                yield from dsm.read("x")
+                yield from dsm.barrier()
+
+        _result, system = run_lrc(alloc_x, program, nprocs=2)
+        # four intervals of writes retained forever (the no-GC cost)
+        assert system.nodes[0].diff_repo_bytes > 0
+        assert len(system.nodes[0].diff_repo) == 4
+
+    def test_fault_costs_one_round_trip_per_writer(self):
+        """Two writers of one page -> the reader pays two diff fetches."""
+
+        def program(dsm):
+            if dsm.rank < 2:
+                half = 32
+                lo, hi = dsm.rank * half, (dsm.rank + 1) * half
+                yield from dsm.write("x", lo, hi)
+                dsm.arr("x")[lo:hi] = dsm.rank + 1
+            yield from dsm.barrier()
+            if dsm.rank == 2:
+                yield from dsm.read("x")
+                assert np.all(dsm.arr("x")[:32] == 1)
+                assert np.all(dsm.arr("x")[32:] == 2)
+
+        result, system = run_lrc(alloc_x, program, nprocs=3)
+        c = system.nodes[2].stats.counters
+        assert c["page_faults"] == 1
+        assert c["diff_fetch_round_trips"] == 2
+
+    def test_writer_keeps_own_copy_valid(self):
+        def program(dsm):
+            if dsm.rank == 0:
+                yield from dsm.write("x")
+                dsm.arr("x")[:] = 5
+            yield from dsm.barrier()
+            if dsm.rank == 0:
+                yield from dsm.read("x")  # own copy: no fault
+                assert dsm.arr("x")[0] == 5
+
+        _result, system = run_lrc(alloc_x, program, nprocs=2)
+        assert system.nodes[0].stats.counters.get("page_faults", 0) == 0
+
+    def test_lock_counter_race_free(self):
+        def program(dsm):
+            for _ in range(4):
+                yield from dsm.acquire(1)
+                yield from dsm.read("x", 0, 1)
+                yield from dsm.write("x", 0, 1)
+                dsm.arr("x")[0] += 1
+                yield from dsm.release(1)
+            yield from dsm.barrier()
+            yield from dsm.read("x", 0, 1)
+            assert dsm.arr("x")[0] == 4 * dsm.nprocs
+
+        run_lrc(alloc_x, program, nprocs=4)
+
+
+class TestLrcWorkloads:
+    @pytest.mark.parametrize("name", ["fft3d", "mg", "water", "sor", "lu"])
+    def test_workloads_verify_under_homeless_lrc(self, name):
+        app = make_app(name)
+        system = DsmSystem(app, ClusterConfig.ultra5(num_nodes=8),
+                           coherence="lrc")
+        system.run()
+        assert app.verify(system), name
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    increments=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 5)),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_random_lock_programs_under_lrc(increments):
+    """Lock-protected commutative updates reach the exact totals under
+    the homeless protocol too."""
+    counters = 6
+
+    def alloc(space, nprocs):
+        space.allocate("c", (counters,), np.int64,
+                       init=np.zeros(counters, np.int64))
+
+    def program(dsm):
+        mine = [c for (r, c) in increments if r == dsm.rank]
+        for c in mine:
+            yield from dsm.acquire(c)
+            yield from dsm.read("c", c, c + 1)
+            yield from dsm.write("c", c, c + 1)
+            dsm.arr("c")[c] += 1
+            yield from dsm.release(c)
+        yield from dsm.barrier()
+        yield from dsm.read("c")
+        expected = np.bincount([c for (_r, c) in increments],
+                               minlength=counters)
+        assert np.array_equal(dsm.arr("c"), expected)
+
+    app = MiniApp(alloc, program)
+    DsmSystem(app, small_config(4), coherence="lrc").run()
+
+
+@settings(max_examples=8, deadline=None)
+@given(plan=barrier_programs())
+def test_hlrc_and_lrc_agree_on_final_state(plan):
+    """The two coherence protocols are interchangeable: identical
+    programs end in identical shared state."""
+    from repro.apps import gather_global
+
+    def alloc(space, nprocs):
+        space.allocate("x", (ELEMS,), np.int32, init=np.zeros(ELEMS, np.int32))
+
+    def program(dsm):
+        for rnd, owners in enumerate(plan):
+            for chunk, owner in enumerate(owners):
+                if owner == dsm.rank:
+                    lo, hi = chunk * CHUNK, (chunk + 1) * CHUNK
+                    yield from dsm.write("x", lo, hi)
+                    dsm.arr("x")[lo:hi] = (rnd + 1) * 10 + owner
+            yield from dsm.barrier()
+
+    finals = {}
+    for coherence in ("hlrc", "lrc"):
+        system = DsmSystem(MiniApp(alloc, program), small_config(NPROCS),
+                           coherence=coherence)
+        system.run()
+        finals[coherence] = gather_global(system, "x")
+    assert np.array_equal(finals["hlrc"], finals["lrc"])
+
+
+@settings(max_examples=15, deadline=None)
+@given(plan=barrier_programs())
+def test_random_programs_match_reference_under_lrc(plan):
+    """The coherence property net, re-run over the homeless protocol."""
+    observed = {}
+
+    def alloc(space, nprocs):
+        space.allocate("x", (ELEMS,), np.int32, init=np.zeros(ELEMS, np.int32))
+
+    def program(dsm):
+        for rnd, owners in enumerate(plan):
+            for chunk, owner in enumerate(owners):
+                if owner == dsm.rank:
+                    lo, hi = chunk * CHUNK, (chunk + 1) * CHUNK
+                    yield from dsm.write("x", lo, hi)
+                    dsm.arr("x")[lo:hi] = (rnd + 1) * 100 + owner
+            yield from dsm.barrier()
+        yield from dsm.read("x")
+        observed[dsm.rank] = dsm.arr("x").copy()
+
+    app = MiniApp(alloc, program)
+    DsmSystem(app, small_config(NPROCS), coherence="lrc").run()
+    ref = reference_final(plan)
+    for rank in range(NPROCS):
+        assert np.array_equal(observed[rank], ref), f"rank {rank} diverged"

@@ -1,0 +1,151 @@
+"""Tests for adaptive home migration (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.config import ClusterConfig
+from repro.core import make_hooks_factory
+from repro.dsm import DsmSystem
+from repro.errors import ProtocolError
+from tests.dsm.conftest import MiniApp, small_config
+
+CFG8 = ClusterConfig.ultra5(num_nodes=8)
+
+
+def sole_writer_app(iters=4):
+    """Rank 1 writes a page homed (round-robin) elsewhere, every phase."""
+
+    def alloc(space, nprocs):
+        space.allocate("x", (64,), np.int32, init=np.zeros(64, np.int32))
+
+    def program(dsm):
+        for it in range(iters):
+            if dsm.rank == 1:
+                yield from dsm.write("x")
+                dsm.arr("x")[:] = it + 1
+            yield from dsm.barrier()
+            if dsm.rank == 2:
+                yield from dsm.read("x")
+                assert dsm.arr("x")[0] == it + 1
+            yield from dsm.barrier()
+
+    return MiniApp(alloc, program)
+
+
+class TestMigrationMechanics:
+    def test_logging_protocols_rejected(self):
+        app = sole_writer_app()
+        with pytest.raises(Exception):
+            DsmSystem(app, small_config(4), make_hooks_factory("ccl"),
+                      coherence="hlrc-migrate")
+
+    def test_sole_writer_page_migrates_to_its_writer(self):
+        app = sole_writer_app()
+        system = DsmSystem(app, small_config(4), coherence="hlrc-migrate")
+        result = system.run()
+        # page 0 was homed at node 0 (round robin); it moves to writer 1
+        assert all(n.pagetable.entry(0).home == 1 for n in system.nodes)
+        assert result.aggregate.counters.get("homes_gained", 0) >= 1
+
+    def test_tables_agree_after_migration(self):
+        app = sole_writer_app()
+        system = DsmSystem(app, small_config(4), coherence="hlrc-migrate")
+        system.run()
+        for p in range(system.space.npages):
+            homes = {n.pagetable.entry(p).home for n in system.nodes}
+            assert len(homes) == 1, f"page {p} home tables diverged: {homes}"
+
+    def test_writer_stops_paying_diffs_after_migration(self):
+        app = sole_writer_app(iters=6)
+        system = DsmSystem(app, small_config(4), coherence="hlrc-migrate")
+        result = system.run()
+        baseline = DsmSystem(sole_writer_app(iters=6), small_config(4)).run()
+        # after the hand-off the writes are home writes: fewer diffs
+        assert (
+            result.aggregate.counters.get("diffs_created", 0)
+            < baseline.aggregate.counters.get("diffs_created", 0)
+        )
+
+    def test_multi_writer_pages_never_migrate(self):
+        def alloc(space, nprocs):
+            space.allocate("x", (64,), np.int32, init=np.zeros(64, np.int32))
+
+        def program(dsm):
+            half = 32
+            for it in range(3):
+                if dsm.rank in (1, 2):
+                    lo = 0 if dsm.rank == 1 else half
+                    hi = half if dsm.rank == 1 else 64
+                    yield from dsm.write("x", lo, hi)
+                    dsm.arr("x")[lo:hi] = it
+                yield from dsm.barrier()
+
+        system = DsmSystem(MiniApp(alloc, program), small_config(4),
+                           coherence="hlrc-migrate")
+        result = system.run()
+        assert result.aggregate.counters.get("homes_gained", 0) == 0
+
+
+class TestMigrationProperties:
+    def test_random_programs_agree_with_static_hlrc(self):
+        """Property: migration never changes program-visible results."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.apps import gather_global
+        from tests.dsm.test_coherence_random import (
+            CHUNK,
+            NPROCS,
+            barrier_programs,
+        )
+
+        @settings(max_examples=10, deadline=None)
+        @given(plan=barrier_programs())
+        def check(plan):
+            def alloc(space, nprocs):
+                space.allocate("x", (256,), np.int32,
+                               init=np.zeros(256, np.int32))
+
+            def program(dsm):
+                for rnd, owners in enumerate(plan):
+                    for chunk, owner in enumerate(owners):
+                        if owner == dsm.rank:
+                            lo, hi = chunk * CHUNK, (chunk + 1) * CHUNK
+                            yield from dsm.write("x", lo, hi)
+                            dsm.arr("x")[lo:hi] = (rnd + 1) * 10 + owner
+                    yield from dsm.barrier()
+
+            finals = {}
+            for coherence in ("hlrc", "hlrc-migrate"):
+                system = DsmSystem(MiniApp(alloc, program),
+                                   small_config(NPROCS), coherence=coherence)
+                system.run()
+                finals[coherence] = gather_global(system, "x")
+            assert np.array_equal(finals["hlrc"], finals["hlrc-migrate"])
+
+        check()
+
+
+class TestMigrationWorkloads:
+    @pytest.mark.parametrize("name", ["fft3d", "mg", "shallow", "water",
+                                      "sor", "lu"])
+    def test_workloads_verify_under_migration(self, name):
+        app = make_app(name)
+        system = DsmSystem(app, CFG8, coherence="hlrc-migrate")
+        system.run()
+        assert app.verify(system), name
+
+    def test_sor_converges_to_aligned_homes(self):
+        """Round-robin start, writer-aligned finish: migration discovers
+        the placement the A4 ablation shows is optimal."""
+        app = make_app("sor", n=128, iters=10)
+        system = DsmSystem(app, CFG8, coherence="hlrc-migrate")
+        result = system.run()
+        assert app.verify(system)
+        static = DsmSystem(make_app("sor", n=128, iters=10), CFG8).run()
+        assert (
+            result.aggregate.counters.get("diffs_created", 0)
+            < 0.5 * static.aggregate.counters.get("diffs_created", 0)
+        )
+        assert result.network_bytes < static.network_bytes

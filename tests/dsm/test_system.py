@@ -1,0 +1,84 @@
+"""Unit tests for the system assembler and RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.dsm import DsmSystem
+from repro.errors import ApplicationError, ConfigError
+from tests.dsm.conftest import MiniApp, small_config
+
+
+def noop_program(dsm):
+    yield from dsm.barrier()
+
+
+class TestSystemAssembly:
+    def test_empty_allocation_rejected(self):
+        app = MiniApp(lambda s, n: None, noop_program)
+        with pytest.raises(ApplicationError):
+            DsmSystem(app, small_config(2))
+
+    def test_bad_home_map_rejected(self):
+        app = MiniApp(
+            lambda s, n: s.allocate("x", (256,), np.float64),  # 8 pages
+            noop_program,
+            homes=lambda s, n: [0],  # wrong length
+        )
+        with pytest.raises(ConfigError):
+            DsmSystem(app, small_config(2))
+
+    def test_default_homes_round_robin(self):
+        app = MiniApp(
+            lambda s, n: s.allocate("x", (256,), np.float64),
+            noop_program,
+        )
+        system = DsmSystem(app, small_config(4))
+        assert system.homes == [p % 4 for p in range(system.space.npages)]
+
+    def test_one_node_and_one_server_per_rank(self):
+        app = MiniApp(lambda s, n: s.allocate("x", (8,), np.int64),
+                      noop_program)
+        system = DsmSystem(app, small_config(3))
+        assert len(system.nodes) == 3
+        assert len(system.disks) == 3
+        assert [n.id for n in system.nodes] == [0, 1, 2]
+
+
+class TestRunResult:
+    def make_result(self):
+        app = MiniApp(
+            lambda s, n: s.allocate("x", (64,), np.int32,
+                                    init=np.zeros(64, np.int32)),
+            self._program,
+        )
+        return DsmSystem(app, small_config(2)).run()
+
+    @staticmethod
+    def _program(dsm):
+        if dsm.rank == 0:
+            yield from dsm.write("x")
+            dsm.arr("x")[:] = 1
+        yield from dsm.barrier()
+        yield from dsm.read("x")
+
+    def test_result_fields_populated(self):
+        r = self.make_result()
+        assert r.total_time > 0
+        assert r.network_msgs > 0
+        assert r.network_bytes > 0
+        assert r.protocol == "none"
+        assert len(r.node_stats) == 2
+        assert r.bytes_by_kind  # per-kind traffic recorded
+
+    def test_logging_metrics_zero_without_logging(self):
+        r = self.make_result()
+        assert r.num_flushes == 0
+        assert r.total_log_bytes == 0
+        assert r.mean_flush_bytes == 0.0
+
+    def test_aggregate_sums_nodes(self):
+        r = self.make_result()
+        agg = r.aggregate
+        total = sum(s.counters.get("barriers", 0) for s in r.node_stats)
+        assert agg.counters["barriers"] == total

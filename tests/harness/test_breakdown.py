@@ -1,0 +1,53 @@
+"""Tests for the execution-breakdown report."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.harness import breakdown_rows, render_breakdown, run_application
+from repro.harness.cli import main
+
+CFG = ClusterConfig.ultra5(num_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def result():
+    r, _system = run_application("sor", "ccl", CFG, scale="test")
+    return r
+
+
+def test_rows_cover_every_node_plus_total(result):
+    rows = breakdown_rows(result)
+    assert len(rows) == 5  # 4 nodes + aggregate
+    assert rows[-1]["node"] == -1.0
+    assert rows[-1]["total_s"] == pytest.approx(4 * result.total_time)
+
+
+def test_buckets_plus_other_sum_to_total(result):
+    from repro.harness.breakdown import TIME_BUCKETS
+
+    for row in breakdown_rows(result)[:-1]:
+        covered = sum(row[b] for b in TIME_BUCKETS) + row["other"]
+        assert covered == pytest.approx(row["total_s"], rel=1e-6)
+        assert row["other"] >= 0
+
+
+def test_counters_present(result):
+    rows = breakdown_rows(result)
+    assert rows[-1]["page_faults"] > 0
+    assert rows[-1]["barriers"] > 0
+
+
+def test_render_contains_header_and_all_row(result):
+    text = render_breakdown(result)
+    assert "Execution breakdown" in text
+    assert "ALL" in text
+    assert "page_faults" in text
+
+
+def test_cli_breakdown_command(capsys):
+    assert main(
+        ["breakdown", "--apps", "sor", "--scale", "test", "--nodes", "4",
+         "--protocol", "ml"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Execution breakdown" in out and "'ml'" in out

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+def test_table1_prints(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "3D-FFT" in out and "Water" in out
+
+
+def test_table2_single_app(capsys):
+    assert main(["table2", "--apps", "sor", "--scale", "test", "--nodes", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out and "CCL" in out
+
+
+def test_fig4_with_csv(tmp_path, capsys):
+    prefix = str(tmp_path / "out")
+    code = main(
+        ["fig4", "--apps", "sor", "--scale", "test", "--nodes", "4",
+         "--csv", prefix]
+    )
+    assert code == 0
+    assert "Figure 4" in capsys.readouterr().out
+    assert (tmp_path / "out_fig4.csv").exists()
+
+
+def test_fig5_runs_recovery(capsys):
+    assert main(
+        ["fig5", "--apps", "sor", "--scale", "test", "--nodes", "4"]
+    ) == 0
+    assert "Figure 5" in capsys.readouterr().out
+
+
+def test_bad_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,51 @@
+"""Tests for result persistence."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core import run_multi_recovery_experiment, run_recovery_experiment
+from repro.apps import make_app
+from repro.harness import (
+    load_json,
+    run_application,
+    run_result_to_dict,
+    save_json,
+)
+
+CFG = ClusterConfig.ultra5(num_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    r, _s = run_application("sor", "ccl", CFG, scale="test")
+    return r
+
+
+def test_run_result_snapshot_fields(run_result):
+    d = run_result_to_dict(run_result)
+    assert d["kind"] == "run"
+    assert d["protocol"] == "ccl"
+    assert d["total_time_s"] > 0
+    assert d["log"]["num_flushes"] > 0
+    assert len(d["nodes"]) == 4
+    assert d["nodes"][0]["counters"]
+
+
+def test_save_and_load_round_trip(tmp_path, run_result):
+    rec = run_recovery_experiment(make_app("sor"), CFG, "ccl", failed_node=1)
+    multi = run_multi_recovery_experiment(
+        make_app("sor"), CFG, "ccl", failed_nodes=(1, 2)
+    )
+    path = tmp_path / "results.json"
+    save_json([run_result, rec, multi, {"kind": "custom", "x": 1}], str(path))
+    loaded = load_json(str(path))
+    assert [d["kind"] for d in loaded] == [
+        "run", "recovery", "multi_recovery", "custom"
+    ]
+    assert loaded[1]["bit_exact"] is True
+    assert loaded[2]["failed_nodes"] == [1, 2]
+
+
+def test_unserialisable_rejected(tmp_path):
+    with pytest.raises(TypeError):
+        save_json([object()], str(tmp_path / "x.json"))

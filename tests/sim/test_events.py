@@ -1,0 +1,93 @@
+"""Unit tests for Signal / Timeout / AllOf."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, Signal, Simulator, Timeout
+
+
+def test_timeout_rejects_negative_delay():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_signal_trigger_twice_is_error():
+    sig = Signal("s")
+    sig.trigger(1)
+    with pytest.raises(SimulationError):
+        sig.trigger(2)
+
+
+def test_signal_remembers_value_for_late_callbacks():
+    sig = Signal("s")
+    sig.trigger("v")
+    got = []
+    sig.add_callback(got.append)
+    assert got == ["v"]
+
+
+def test_signal_callbacks_fire_in_registration_order():
+    sig = Signal("s")
+    order = []
+    sig.add_callback(lambda _v: order.append(1))
+    sig.add_callback(lambda _v: order.append(2))
+    sig.add_callback(lambda _v: order.append(3))
+    sig.trigger(None)
+    assert order == [1, 2, 3]
+
+
+def test_signal_discard_callback_prevents_delivery():
+    sig = Signal("s")
+    got = []
+    cb = got.append
+    sig.add_callback(cb)
+    sig.discard_callback(cb)
+    sig.trigger("x")
+    assert got == []
+
+
+def test_allof_waits_for_every_signal():
+    sim = Simulator()
+    sigs = [Signal(f"s{i}") for i in range(3)]
+    results = []
+
+    def waiter():
+        values = yield AllOf(sigs)
+        results.append((sim.now, values))
+
+    sim.spawn(waiter(), name="w")
+    sim.schedule(1.0, lambda: sigs[2].trigger("c"))
+    sim.schedule(2.0, lambda: sigs[0].trigger("a"))
+    sim.schedule(3.0, lambda: sigs[1].trigger("b"))
+    sim.run()
+    # resumes only when the LAST signal fires; values keep input order
+    assert results == [(3.0, ["a", "b", "c"])]
+
+
+def test_allof_empty_completes_immediately():
+    sim = Simulator()
+    results = []
+
+    def waiter():
+        values = yield AllOf([])
+        results.append(values)
+
+    sim.spawn(waiter(), name="w")
+    sim.run()
+    assert results == [[]]
+    assert sim.now == 0.0
+
+
+def test_allof_with_pretriggered_signals():
+    sim = Simulator()
+    s1, s2 = Signal("1"), Signal("2")
+    s1.trigger(10)
+    s2.trigger(20)
+
+    def waiter():
+        values = yield AllOf([s1, s2])
+        return values
+
+    p = sim.spawn(waiter(), name="w")
+    sim.run()
+    assert p.result == [10, 20]

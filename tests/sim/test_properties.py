@@ -1,0 +1,114 @@
+"""Property-based tests for the simulation substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkConfig
+from repro.sim import FifoServer, NetMessage, Network, Simulator, Timeout
+
+
+@settings(max_examples=100, deadline=None)
+@given(services=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+def test_fifo_server_is_work_conserving_and_ordered(services):
+    """Back-to-back requests complete in order with no idle gaps."""
+    sim = Simulator()
+    srv = FifoServer(sim, "s")
+    finishes = []
+
+    def body():
+        sigs = [srv.request(s) for s in services]
+        for sig in sigs:
+            t = yield sig
+            finishes.append(t)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    # completion order == issue order, times are the prefix sums
+    expected = []
+    acc = 0.0
+    for s in services:
+        acc += s
+        expected.append(acc)
+    assert finishes == pytest.approx(expected)
+    assert srv.busy_time == pytest.approx(sum(services))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 10_000), min_size=1, max_size=20),
+)
+def test_network_messages_between_one_pair_arrive_fifo(sizes):
+    """Per-(src, dst) delivery preserves send order (any size mix)."""
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), num_nodes=2)
+    got = []
+
+    def sender():
+        for i, size in enumerate(sizes):
+            yield from net.send(
+                NetMessage(src=0, dst=1, kind="m", payload=i, size=size)
+            )
+
+    def receiver():
+        for _ in sizes:
+            msg = yield net.mailbox(1).get()
+            got.append(msg.payload)
+
+    sim.spawn(sender(), name="s")
+    sim.spawn(receiver(), name="r")
+    sim.run()
+    assert got == list(range(len(sizes)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=20),
+)
+def test_virtual_clock_is_monotone_across_processes(delays):
+    sim = Simulator()
+    stamps = []
+
+    def worker(d):
+        yield Timeout(d)
+        stamps.append(sim.now)
+
+    for d in delays:
+        sim.spawn(worker(d), name=f"w{d}")
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert sim.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    traffic=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(1, 5000)),
+        min_size=1,
+        max_size=30,
+    ),
+)
+def test_network_byte_accounting_balances(n, traffic):
+    """Total bytes sent equals the sum of per-node and per-kind tallies."""
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), num_nodes=6)
+    sent = 0
+
+    def receiver(node, count):
+        for _ in range(count):
+            yield net.mailbox(node).get()
+
+    per_dst = {}
+    for src, dst, size in traffic:
+        if src == dst:
+            continue
+        net.post(NetMessage(src=src, dst=dst, kind=f"k{size % 3}", size=size))
+        sent += size + Network.HEADER_BYTES
+        per_dst[dst] = per_dst.get(dst, 0) + 1
+    for dst, count in per_dst.items():
+        sim.spawn(receiver(dst, count), name=f"r{dst}")
+    sim.run()
+    assert net.total_bytes == sent
+    assert sum(net.bytes_by_kind.values()) == sent
+    assert sum(net.msgs_sent) == sum(per_dst.values())

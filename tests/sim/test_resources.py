@@ -1,0 +1,143 @@
+"""Unit tests for FifoServer and Mailbox."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import FifoServer, Mailbox, Simulator, Timeout
+
+
+class TestFifoServer:
+    def test_single_request_completes_after_service_time(self):
+        sim = Simulator()
+        srv = FifoServer(sim, "s")
+        done = []
+
+        def body():
+            t = yield srv.request(2.0)
+            done.append(t)
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert done == [2.0]
+
+    def test_requests_serialize_fifo(self):
+        sim = Simulator()
+        srv = FifoServer(sim, "s")
+        finish = []
+
+        def body():
+            a = srv.request(1.0)
+            b = srv.request(2.0)
+            c = srv.request(0.5)
+            # issue all three back-to-back; completions stack up
+            ta = yield a
+            tb = yield b
+            tc = yield c
+            finish.extend([ta, tb, tc])
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert finish == [1.0, 3.0, 3.5]
+
+    def test_idle_gap_resets_queue(self):
+        sim = Simulator()
+        srv = FifoServer(sim, "s")
+        finish = []
+
+        def body():
+            t1 = yield srv.request(1.0)
+            yield Timeout(10.0)  # server idles
+            t2 = yield srv.request(1.0)
+            finish.extend([t1, t2])
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert finish == [1.0, 12.0]
+
+    def test_busy_time_and_count_accumulate(self):
+        sim = Simulator()
+        srv = FifoServer(sim, "s")
+        srv.request(1.0)
+        srv.request(2.5)
+        assert srv.busy_time == 3.5
+        assert srv.num_requests == 2
+        assert srv.backlog == 3.5
+        sim.run()
+        assert srv.backlog == 0.0
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulator()
+        srv = FifoServer(sim, "s")
+        with pytest.raises(SimulationError):
+            srv.request(-1.0)
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        sim = Simulator()
+        mbox = Mailbox(sim, "m")
+        mbox.put("hello")
+        got = []
+
+        def body():
+            m = yield mbox.get()
+            got.append(m)
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert got == ["hello"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        mbox = Mailbox(sim, "m")
+        got = []
+
+        def body():
+            m = yield mbox.get()
+            got.append((m, sim.now))
+
+        sim.spawn(body(), name="p")
+        sim.schedule(5.0, lambda: mbox.put("late"))
+        sim.run()
+        assert got == [("late", 5.0)]
+
+    def test_predicate_receives_only_matching_message(self):
+        sim = Simulator()
+        mbox = Mailbox(sim, "m")
+        mbox.put({"kind": "a"})
+        mbox.put({"kind": "b"})
+        got = []
+
+        def body():
+            m = yield mbox.get(lambda m: m["kind"] == "b")
+            got.append(m["kind"])
+            m = yield mbox.get()
+            got.append(m["kind"])
+
+        sim.spawn(body(), name="p")
+        sim.run()
+        assert got == ["b", "a"]
+
+    def test_waiters_matched_in_order(self):
+        sim = Simulator()
+        mbox = Mailbox(sim, "m")
+        got = []
+
+        def waiter(tag):
+            m = yield mbox.get()
+            got.append((tag, m))
+
+        sim.spawn(waiter("first"), name="w1")
+        sim.spawn(waiter("second"), name="w2")
+        sim.schedule(1.0, lambda: mbox.put("x"))
+        sim.schedule(2.0, lambda: mbox.put("y"))
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_len_counts_undelivered(self):
+        sim = Simulator()
+        mbox = Mailbox(sim, "m")
+        mbox.put(1)
+        mbox.put(2)
+        assert len(mbox) == 2
+        assert mbox.delivered == 2

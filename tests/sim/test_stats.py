@@ -1,0 +1,80 @@
+"""Unit tests for statistics and tracing helpers."""
+
+from repro.sim import Counter, NodeStats, TimeBreakdown
+from repro.sim.trace import Tracer
+
+
+class TestCounter:
+    def test_add_creates_and_increments(self):
+        c = Counter()
+        c.add("x")
+        c.add("x", 2)
+        assert c["x"] == 3
+
+    def test_merge_accumulates(self):
+        a = Counter({"x": 1, "y": 2})
+        b = Counter({"y": 3, "z": 4})
+        a.merge(b)
+        assert a == {"x": 1, "y": 5, "z": 4}
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        tb = TimeBreakdown()
+        tb.add("compute", 1.0)
+        tb.add("sync", 0.5)
+        tb.add("compute", 0.25)
+        assert tb.get("compute") == 1.25
+        assert tb.get("missing") == 0.0
+        assert tb.total == 1.75
+
+    def test_merge(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add("compute", 1.0)
+        b.add("compute", 2.0)
+        b.add("fault", 3.0)
+        a.merge(b)
+        assert a.as_dict() == {"compute": 3.0, "fault": 3.0}
+
+
+class TestNodeStats:
+    def test_count_and_charge(self):
+        s = NodeStats(3)
+        s.count("page_faults")
+        s.count("page_faults", 4)
+        s.charge("fault", 0.1)
+        d = s.as_dict()
+        assert d["node"] == 3
+        assert d["counters"]["page_faults"] == 5
+        assert d["time"]["fault"] == 0.1
+
+    def test_aggregate_sums_across_nodes(self):
+        nodes = []
+        for i in range(3):
+            s = NodeStats(i)
+            s.count("flushes", i + 1)
+            s.charge("compute", float(i))
+            nodes.append(s)
+        agg = NodeStats.aggregate(nodes)
+        assert agg.node_id == -1
+        assert agg.counters["flushes"] == 6
+        assert agg.time.get("compute") == 3.0
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(0.0, 1, "acq")
+        assert len(t) == 0
+
+    def test_enabled_tracer_records_and_filters(self):
+        t = Tracer(enabled=True)
+        t.record(0.0, 1, "acq", "L0")
+        t.record(1.0, 2, "rel", "L0")
+        t.record(2.0, 1, "rel", "L1")
+        assert len(t) == 3
+        assert [e.time for e in t.filter(event="rel")] == [1.0, 2.0]
+        assert [e.event for e in t.filter(node=1)] == ["acq", "rel"]
+        assert [e.detail for e in t.filter(event="rel", node=1)] == ["L1"]
+        t.clear()
+        assert len(t) == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the cluster configuration and cost model."""
+
+import pytest
+
+from repro.config import (
+    ClusterConfig,
+    CpuConfig,
+    DiskConfig,
+    NetworkConfig,
+    WORD_SIZE,
+)
+from repro.errors import ConfigError
+
+
+class TestNetworkConfig:
+    def test_transfer_time(self):
+        net = NetworkConfig(bandwidth_bps=1e6)
+        assert net.transfer_time(500_000) == pytest.approx(0.5)
+
+
+class TestDiskConfig:
+    def test_read_path_asymmetry(self):
+        d = DiskConfig()
+        n = 4096
+        # cache-warm < streamed scan < buffered write < cold random read
+        assert (
+            d.cached_read_time(n)
+            < d.seq_read_time(n)
+            < d.write_time(n)
+            < d.read_time(n)
+        )
+
+    def test_op_time_alias(self):
+        d = DiskConfig()
+        assert d.op_time(100) == d.read_time(100)
+
+
+class TestCpuConfig:
+    def test_compute_time(self):
+        cpu = CpuConfig(flop_rate=1e6)
+        assert cpu.compute_time(2e6) == pytest.approx(2.0)
+
+
+class TestClusterConfig:
+    def test_ultra5_defaults(self):
+        cfg = ClusterConfig.ultra5()
+        assert cfg.num_nodes == 8
+        assert cfg.page_size == 4096
+        assert cfg.words_per_page == 4096 // WORD_SIZE
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_nodes=0)
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(page_size=6)  # not word aligned
+        with pytest.raises(ConfigError):
+            ClusterConfig(page_size=4)  # below two words
+
+    def test_shared_memory_alignment_checked(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(page_size=4096, shared_memory_bytes=4097)
+
+    def test_with_changes_is_pure(self):
+        cfg = ClusterConfig.ultra5()
+        slow = cfg.with_changes(disk=DiskConfig(bandwidth_bps=1e6))
+        assert slow.disk.bandwidth_bps == 1e6
+        assert cfg.disk.bandwidth_bps != 1e6
+        assert slow.num_nodes == cfg.num_nodes
+
+    def test_configs_are_frozen(self):
+        cfg = ClusterConfig.ultra5()
+        with pytest.raises(Exception):
+            cfg.num_nodes = 16

@@ -1,0 +1,27 @@
+# Developer entry points.  `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check lint sanitize test bench
+
+# Full gate: style (when ruff is available), the repo's own AST lint,
+# and the tier-1 suite with every DSM run under the coherence sanitizer.
+check: lint sanitize
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping style check"; \
+	fi
+	$(PYTHON) -m repro.analysis.lint src/repro
+
+sanitize:
+	$(PYTHON) -m pytest -x -q --sanitize
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -7,7 +7,6 @@ high disk access latency"; this sweep shows ML degrading with the disk
 while CCL's overlap keeps it nearly flat.
 """
 
-import pytest
 
 from repro.config import DiskConfig
 from repro.harness import logging_comparison, render_sweep, sweep

@@ -7,7 +7,6 @@ protocol guarantees: the later the crash, the longer the replay, but
 never longer than re-execution.
 """
 
-import pytest
 
 from repro.apps import make_app
 from repro.core import run_recovery_experiment

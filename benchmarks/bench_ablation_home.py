@@ -8,7 +8,6 @@ diff traffic -- the effect later HLRC systems exploited with
 first-touch placement.
 """
 
-import pytest
 
 from repro.apps import make_app
 from repro.dsm import DsmSystem

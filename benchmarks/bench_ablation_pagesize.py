@@ -8,7 +8,6 @@ paper's observation that CCL's advantage comes from *not* logging
 fetched pages.
 """
 
-import pytest
 
 from repro.harness import logging_comparison, render_sweep, sweep
 

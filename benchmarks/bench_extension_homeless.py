@@ -9,7 +9,6 @@ per fault (homeless pays one per writer), wire traffic, and the bytes
 pinned in homeless diff repositories (which, with no GC, only grow).
 """
 
-import pytest
 
 from repro.apps import PAPER_APPS, make_app
 from repro.dsm import DsmSystem

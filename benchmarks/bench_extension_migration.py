@@ -7,7 +7,6 @@ the aligned placement adaptively: diff traffic collapses toward zero
 after the first hand-off wave.
 """
 
-import pytest
 
 from repro.apps import make_app
 from repro.dsm import DsmSystem

@@ -8,7 +8,6 @@ outgoing diffs durably.  Every victim's recovered state is verified
 bit-exactly before its time counts.
 """
 
-import pytest
 
 from repro.apps import make_app
 from repro.core import run_multi_recovery_experiment

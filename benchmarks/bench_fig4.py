@@ -6,7 +6,7 @@ CCL bars sit within 1-6% of 1.0; the ML bars at +9% to +24%.
 """
 
 from repro.apps import PAPER_APPS
-from repro.harness import fig4_rows, logging_comparison, render_fig4
+from repro.harness import logging_comparison, render_fig4
 
 
 def test_fig4_normalized_execution_time(benchmark, ultra5, save_artifact):

@@ -11,10 +11,9 @@ ML.  Our scaled datasets sit below the paper's pages-per-interval for
 Water, where the two schemes come out close (see EXPERIMENTS.md).
 """
 
-import pytest
 
 from repro.apps import PAPER_APPS
-from repro.harness import fig5_rows, recovery_comparison, render_fig5
+from repro.harness import recovery_comparison, render_fig5
 
 
 def test_fig5_recovery_time(benchmark, ultra5, save_artifact):

@@ -1,0 +1,39 @@
+"""Coherence sanitizer: static and dynamic checks for the simulator.
+
+Three independent passes (see ``docs/analysis.md`` for the invariant
+catalogue):
+
+* :mod:`repro.analysis.invariants` -- trace-driven protocol invariant
+  checker and word-granularity data-race detector;
+* :mod:`repro.analysis.recoverability` -- log auditor that proves every
+  fetched page version is derivable from the initial image plus logged
+  diffs (the paper's recoverability claim, machine-checked);
+* :mod:`repro.analysis.lint` -- AST lint pass for simulator-specific
+  hazards (``python -m repro.analysis.lint``).
+
+:mod:`repro.analysis.sanitize` wires the first two into every
+``DsmSystem.run`` call; the test suite enables it with
+``pytest --sanitize``.
+"""
+
+from .invariants import (
+    InvariantChecker,
+    InvariantReport,
+    RaceDetector,
+    Violation,
+    check_trace,
+)
+from .recoverability import Problem, RecoverabilityReport, audit_recoverability
+from .sanitize import install as install_sanitizer
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantReport",
+    "RaceDetector",
+    "Violation",
+    "check_trace",
+    "Problem",
+    "RecoverabilityReport",
+    "audit_recoverability",
+    "install_sanitizer",
+]

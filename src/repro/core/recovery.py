@@ -43,7 +43,6 @@ import numpy as np
 
 from ..config import ClusterConfig
 from ..dsm.api import Dsm
-from ..dsm.hlrc import HlrcNode
 from ..dsm.interval import IntervalRecord, VectorClock
 from ..dsm.system import DsmSystem, RunResult
 from ..errors import RecoveryError

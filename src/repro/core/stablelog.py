@@ -67,6 +67,16 @@ class StableLog:
         """All flushed records, in append order."""
         return self._persistent
 
+    @property
+    def all_records(self) -> List[LogRecord]:
+        """Persistent followed by still-volatile records, in append order.
+
+        The recoverability auditor reads a *survivor's* log, for which
+        volatile records are as good as flushed (survivors do not
+        crash); actual recovery paths use :attr:`persistent_records`.
+        """
+        return self._persistent + self._volatile
+
     # ------------------------------------------------------------------
     # flushing
     # ------------------------------------------------------------------

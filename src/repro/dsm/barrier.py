@@ -9,13 +9,17 @@ exactly the records that node lacks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SynchronizationError
 from ..sim.events import Signal
+from ..sim.trace import Ev
 from .interval import VectorClock
 
 __all__ = ["BarrierState"]
+
+#: Manager-side event observer: ``fn(event_name, detail_dict)``.
+BarrierEventFn = Callable[[str, dict], None]
 
 
 class BarrierState:
@@ -27,12 +31,18 @@ class BarrierState:
     one episode ahead are queued until :meth:`next_episode`.
     """
 
-    def __init__(self, num_nodes: int):
+    def __init__(self, num_nodes: int, on_event: Optional[BarrierEventFn] = None):
         self.num_nodes = num_nodes
         self.episode = 0
         self._arrived: Dict[int, VectorClock] = {}
         self._pending: Dict[int, VectorClock] = {}
         self._all_in = Signal("barrier.all_in")
+        #: Optional trace emitter (the coherence sanitizer's hook).
+        self.on_event = on_event
+
+    def _emit(self, event: str, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(event, detail)
 
     def checkin(self, node: int, vt: VectorClock, episode: int) -> Signal:
         """Record an arrival for ``episode``; returns the completion signal
@@ -54,8 +64,11 @@ class BarrierState:
                 f"node {node} checked in twice for barrier episode {self.episode}"
             )
         self._arrived[node] = vt
+        self._emit(Ev.BARRIER_CHECKIN, {"node": node, "episode": self.episode,
+                                        "vt": list(vt.as_tuple())})
         sig = self._all_in
         if len(self._arrived) == self.num_nodes:
+            self._emit(Ev.BARRIER_ALL_IN, {"episode": self.episode})
             sig.trigger(self.episode)
         return sig
 

@@ -27,9 +27,9 @@ implemented purely in terms of those hooks.
 
 from __future__ import annotations
 
+import zlib
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional, Tuple
 
-import numpy as np
 
 from ..errors import ProtocolError
 from ..memory import LocalMemory, PageState, PageTable, create_diff, apply_diff
@@ -37,6 +37,7 @@ from ..memory.diff import Diff
 from ..sim.events import AllOf, Signal, Timeout
 from ..sim.network import NetMessage
 from ..sim.stats import NodeStats
+from ..sim.trace import Ev
 from .barrier import BarrierState
 from .interval import IntervalRecord, IntervalTable, VectorClock
 from .locks import LockState
@@ -98,6 +99,7 @@ class HlrcNode:
         self.disk = system.disks[node_id]
         self.memory = LocalMemory(system.space)
         self.pagetable = PageTable(node_id, system.space.npages, system.homes)
+        self.pagetable.on_transition = self._on_page_transition
         self.stats = NodeStats(node_id)
         self.hooks = hooks or NoLogging()
         self.hooks.bind(self)
@@ -133,7 +135,9 @@ class HlrcNode:
 
         # manager state (populated lazily; every node can manage locks)
         self.lock_states: Dict[int, LockState] = {}
-        self.barrier_state = BarrierState(n) if node_id == 0 else None
+        self.barrier_state = (
+            BarrierState(n, on_event=self._manager_event) if node_id == 0 else None
+        )
 
         #: Reply-routing registry: (kind, key) -> Signal for the main process.
         self._expected: Dict[Tuple[str, Any], Signal] = {}
@@ -154,11 +158,39 @@ class HlrcNode:
     def _lock_state(self, lock_id: int) -> LockState:
         if self.lock_manager(lock_id) != self.id:
             raise ProtocolError(f"node {self.id} does not manage lock {lock_id}")
-        return self.lock_states.setdefault(lock_id, LockState(lock_id))
+        return self.lock_states.setdefault(
+            lock_id, LockState(lock_id, on_event=self._manager_event)
+        )
 
     def _trace(self, event: str, detail: Any = None) -> None:
         """Record a protocol event on the system tracer (off by default)."""
         self.system.tracer.record(self.sim.now, self.id, event, detail)
+
+    @property
+    def _tracing(self) -> bool:
+        """Whether structured events should be built (guards dict costs)."""
+        return self.system.tracer.enabled
+
+    def _manager_event(self, event: str, detail: dict) -> None:
+        """Trace sink for manager-side lock/barrier state machines."""
+        if self._tracing:
+            self._trace(event, detail)
+
+    def _on_page_transition(
+        self, page: int, old: PageState, new: PageState, reason: str
+    ) -> None:
+        """Trace sink for page-table state-machine transitions."""
+        if self._tracing:
+            self._trace(
+                Ev.PAGE_STATE,
+                {
+                    "page": page,
+                    "from": old.value,
+                    "to": new.value,
+                    "reason": reason,
+                    "home": self.pagetable.entry(page).home,
+                },
+            )
 
     def expect(self, kind: str, key: Any) -> Signal:
         """Register interest in one future reply message."""
@@ -249,6 +281,18 @@ class HlrcNode:
         source = entry.twin if entry.twin is not None else self.memory.page_bytes(req.page)
         reply = PageReply(req.page, source.copy(), entry.version)
         self.stats.count("pages_served")
+        if self._tracing:
+            self._trace(
+                Ev.PAGE_SERVE,
+                {
+                    "page": req.page,
+                    "to": req.requester,
+                    "crc": zlib.crc32(source.tobytes()),
+                    "version": list(entry.version.as_tuple())
+                    if entry.version is not None
+                    else None,
+                },
+            )
         self._post(req.requester, "page_reply", reply)
 
     def _apply_incoming_diffs(self, batch: DiffBatch) -> Generator[Any, Any, None]:
@@ -278,7 +322,18 @@ class HlrcNode:
             )
             self.stats.count("diffs_applied")
             self.stats.count("diff_bytes_applied", d.nbytes)
-        self.hooks.on_update_received(batch)
+        if self._tracing:
+            self._trace(
+                Ev.DIFF_APPLY,
+                {
+                    "writer": batch.writer,
+                    "index": batch.interval_index,
+                    "part": batch.part,
+                    "pages": [d.page for d in batch.diffs],
+                    "vt": list(batch.vt.as_tuple()),
+                },
+            )
+        self.hooks.notify_update_received(batch)
         self._post(batch.writer, "diff_ack",
                    DiffAck(batch.writer, batch.interval_index, self.id))
 
@@ -364,7 +419,12 @@ class HlrcNode:
         self._trace("acquire", lock_id)
         yield from self._apply_notices(records)
         self.acq_seq += 1
-        self.hooks.on_notices_received(records, self.acq_seq)
+        if self._tracing:
+            self._trace(
+                Ev.LOCK_ACQUIRED,
+                {"lock": lock_id, "vt": list(self.vt.as_tuple())},
+            )
+        self.hooks.notify_notices_received(records, self.acq_seq)
 
     def _acquire_local(self, lock_id: int) -> Generator[Any, Any, List[IntervalRecord]]:
         state = self._lock_state(lock_id)
@@ -382,6 +442,11 @@ class HlrcNode:
             yield from self.hooks.sync_entry_flush()
         yield from self._end_interval()
         self._fire_probes()
+        if self._tracing:
+            self._trace(
+                Ev.LOCK_RELEASED,
+                {"lock": lock_id, "vt": list(self.vt.as_tuple())},
+            )
         mgr = self.lock_manager(lock_id)
         if mgr == self.id:
             rel = LockRelease(lock_id, self.id, [])
@@ -402,11 +467,24 @@ class HlrcNode:
             yield from self.hooks.sync_entry_flush()
         yield from self._end_interval()
         self._fire_probes()
+        ep = self.barrier_episode
+        if self._tracing:
+            self._trace(
+                Ev.BARRIER_ENTER,
+                {"barrier": barrier_id, "episode": ep,
+                 "vt": list(self.vt.as_tuple())},
+            )
         t0 = self.sim.now
         if self.id == 0:
             yield from self._barrier_as_manager(barrier_id)
         else:
             yield from self._barrier_as_worker(barrier_id)
+        if self._tracing:
+            self._trace(
+                Ev.BARRIER_EXIT,
+                {"barrier": barrier_id, "episode": ep,
+                 "vt": list(self.vt.as_tuple())},
+            )
         self.stats.charge("sync", self.sim.now - t0)
         self.stats.count("barriers")
         self._trace("barrier", barrier_id)
@@ -430,7 +508,7 @@ class HlrcNode:
         msg = yield sig
         self.barrier_episode += 1
         yield from self._apply_notices(msg.payload.records)
-        self.hooks.on_notices_received(msg.payload.records, 0)
+        self.hooks.notify_notices_received(msg.payload.records, 0)
         # after a barrier everyone's history is global: the manager covers it
         self.peer_known_vt[mgr] = self.vt
 
@@ -448,7 +526,7 @@ class HlrcNode:
                                   BarrierRelease(barrier_id, records))
         own = self.table.records_not_covered_by(self.vt)
         yield from self._apply_notices(own)
-        self.hooks.on_notices_received(own, 0)
+        self.hooks.notify_notices_received(own, 0)
         for node, _vt in participants:
             self.peer_known_vt[node] = self.peer_known_vt[node].merge(self.vt)
         self.barrier_state.next_episode()
@@ -512,7 +590,17 @@ class HlrcNode:
             if d.is_empty:
                 continue
             by_home.setdefault(entry.home, []).append(d)
-            self.hooks.on_early_diff(d, part, early_vt)
+            if self._tracing:
+                self._trace(
+                    Ev.EARLY_DIFF,
+                    {
+                        "page": p,
+                        "part": part,
+                        "vt": list(early_vt.as_tuple()),
+                        "runs": [[off, len(words)] for off, words in d.runs],
+                    },
+                )
+            self.hooks.notify_early_diff(d, part, early_vt)
             self.stats.count("early_diffs")
             self.stats.count("diff_bytes_sent", d.nbytes)
         if scan_cost:
@@ -524,11 +612,27 @@ class HlrcNode:
         ack_sigs: List[Signal] = []
         for home, diffs in sorted(by_home.items()):
             batch = DiffBatch(self.id, vt_index, early_vt, diffs, part=part)
+            if self._tracing:
+                self._trace(
+                    Ev.DIFF_SEND,
+                    {
+                        "home": home,
+                        "index": vt_index,
+                        "part": part,
+                        "pages": [d.page for d in diffs],
+                        "vt": list(early_vt.as_tuple()),
+                    },
+                )
             ack_sigs.append(self.expect("diff_ack", home))
             yield from self._send(home, "diff", batch)
         t0 = self.sim.now
         yield AllOf(ack_sigs)
         self.stats.charge("diff_wait", self.sim.now - t0)
+        if self._tracing:
+            self._trace(
+                Ev.DIFF_ACKED,
+                {"index": vt_index, "part": part, "homes": sorted(by_home)},
+            )
 
     # ------------------------------------------------------------------
     def _end_interval(self) -> Generator[Any, Any, None]:
@@ -580,7 +684,7 @@ class HlrcNode:
                     scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
                     d = create_diff(p, entry.twin, self.memory.page_bytes(p))
                     self.pagetable.drop_twin(p)
-                    entry.state = PageState.CLEAN
+                    self.pagetable.set_state(p, PageState.CLEAN, "seal")
                     entry.version = entry.version.merge(new_vt) if entry.version else new_vt
                     if not d.is_empty:
                         remote_diffs.append(d)
@@ -595,7 +699,7 @@ class HlrcNode:
 
         # let the logging protocol capture the interval before anything
         # is sent (CCL logs its own diffs; ML has nothing to do here)
-        self.hooks.on_interval_end(
+        self.hooks.notify_interval_end(
             self.interval_index,
             new_vt if new_vt is not None else self.vt,
             remote_diffs,
@@ -605,13 +709,24 @@ class HlrcNode:
 
         # flush diffs to the homes of the written pages
         ack_sigs: List[Signal] = []
+        by_home: Dict[int, List[Diff]] = {}
         if remote_diffs:
-            by_home: Dict[int, List[Diff]] = {}
             for d in remote_diffs:
                 by_home.setdefault(self.pagetable.entry(d.page).home, []).append(d)
             assert new_vt is not None and record is not None
             for home, diffs in sorted(by_home.items()):
                 batch = DiffBatch(self.id, record.index, new_vt, diffs)
+                if self._tracing:
+                    self._trace(
+                        Ev.DIFF_SEND,
+                        {
+                            "home": home,
+                            "index": record.index,
+                            "part": 0,
+                            "pages": [d.page for d in diffs],
+                            "vt": list(new_vt.as_tuple()),
+                        },
+                    )
                 ack_sigs.append(self.expect("diff_ack", home))
                 yield from self._send(home, "diff", batch)
 
@@ -631,11 +746,33 @@ class HlrcNode:
             t0 = self.sim.now
             yield AllOf(ack_sigs)
             self.stats.charge("diff_wait", self.sim.now - t0)
+            if self._tracing:
+                assert record is not None
+                self._trace(
+                    Ev.DIFF_ACKED,
+                    {"index": record.index, "part": 0, "homes": sorted(by_home)},
+                )
 
         if record is not None:
             assert new_vt is not None
             self.table.add(record)
             self.vt = new_vt
+            if self._tracing:
+                self._trace(
+                    Ev.INTERVAL_END,
+                    {
+                        "interval": record.index,
+                        "vt": list(new_vt.as_tuple()),
+                        "pages": list(record.pages),
+                        "writes": [
+                            {
+                                "page": d.page,
+                                "runs": [[off, len(words)] for off, words in d.runs],
+                            }
+                            for d in remote_diffs + home_diffs
+                        ],
+                    },
+                )
         self._trace("seal", self.interval_index)
         self.interval_index += 1
         self.acq_seq = 0
@@ -674,7 +811,7 @@ class HlrcNode:
             if entry.state is PageState.CLEAN:
                 yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
                 self.pagetable.make_twin(p, self.memory.page_bytes(p))
-                entry.state = PageState.DIRTY
+                self.pagetable.set_state(p, PageState.DIRTY, "write")
             self.pagetable.mark_dirty(p)
 
     def _fault_fetch(self, page: int) -> Generator[Any, Any, None]:
@@ -687,10 +824,22 @@ class HlrcNode:
         msg = yield sig
         reply: PageReply = msg.payload
         self.memory.page_bytes(page)[:] = reply.contents
-        entry.state = PageState.CLEAN
+        self.pagetable.set_state(page, PageState.CLEAN, "fetch")
         entry.version = reply.version
         self.stats.count("page_faults")
         self.stats.count("page_bytes_fetched", len(reply.contents))
         self.stats.charge("fault", self.sim.now - t0)
         self._trace("fault", page)
-        self.hooks.on_page_fetched(page, reply.contents, reply.version, self.acq_seq)
+        if self._tracing:
+            self._trace(
+                Ev.PAGE_FETCH,
+                {
+                    "page": page,
+                    "home": entry.home,
+                    "crc": zlib.crc32(reply.contents.tobytes()),
+                    "version": list(reply.version.as_tuple())
+                    if reply.version is not None
+                    else None,
+                },
+            )
+        self.hooks.notify_page_fetched(page, reply.contents, reply.version, self.acq_seq)

@@ -11,24 +11,34 @@ coherence information along the lock chain.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from ..errors import SynchronizationError
+from ..sim.trace import Ev
 from .interval import VectorClock
 
 __all__ = ["LockState"]
+
+#: Manager-side event observer: ``fn(event_name, detail_dict)``.
+LockEventFn = Callable[[str, dict], None]
 
 
 class LockState:
     """Ownership and wait queue of one lock at its manager."""
 
-    def __init__(self, lock_id: int):
+    def __init__(self, lock_id: int, on_event: Optional[LockEventFn] = None):
         self.lock_id = lock_id
         self.held = False
         self.holder: Optional[int] = None
         #: FIFO of ``(requester, requester_vt)`` waiting for the lock.
         self.queue: Deque[Tuple[int, VectorClock]] = deque()
         self.grants = 0
+        #: Optional trace emitter (the coherence sanitizer's hook).
+        self.on_event = on_event
+
+    def _emit(self, event: str, detail: dict) -> None:
+        if self.on_event is not None:
+            self.on_event(event, detail)
 
     def try_acquire(self, requester: int, vt: VectorClock) -> bool:
         """Grant immediately if free; otherwise enqueue.  Returns granted?"""
@@ -36,8 +46,11 @@ class LockState:
             self.held = True
             self.holder = requester
             self.grants += 1
+            self._emit(Ev.LOCK_GRANT, {"lock": self.lock_id, "to": requester,
+                                       "queued": False})
             return True
         self.queue.append((requester, vt))
+        self._emit(Ev.LOCK_QUEUE, {"lock": self.lock_id, "requester": requester})
         return False
 
     def release(self, releaser: int) -> Optional[Tuple[int, VectorClock]]:
@@ -54,7 +67,10 @@ class LockState:
             nxt, vt = self.queue.popleft()
             self.holder = nxt
             self.grants += 1
+            self._emit(Ev.LOCK_GRANT, {"lock": self.lock_id, "to": nxt,
+                                       "queued": True})
             return (nxt, vt)
         self.held = False
         self.holder = None
+        self._emit(Ev.LOCK_FREE, {"lock": self.lock_id, "releaser": releaser})
         return None

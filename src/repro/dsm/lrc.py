@@ -211,7 +211,7 @@ class LrcNode(HlrcNode):
                 scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
                 d = create_diff(p, entry.twin, self.memory.page_bytes(p))
                 self.pagetable.drop_twin(p)
-                entry.state = PageState.CLEAN
+                self.pagetable.set_state(p, PageState.CLEAN, "seal")
                 entry.version = entry.version.merge(new_vt)
                 if not d.is_empty:
                     self._store_diff(p, vt_index, 0, new_vt, d)
@@ -248,7 +248,7 @@ class LrcNode(HlrcNode):
             if entry.state is PageState.CLEAN:
                 yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
                 self.pagetable.make_twin(p, self.memory.page_bytes(p))
-                entry.state = PageState.DIRTY
+                self.pagetable.set_state(p, PageState.DIRTY, "write")
             self.pagetable.mark_dirty(p)
 
     def _fill(self, page: int) -> Generator[Any, Any, None]:
@@ -293,7 +293,7 @@ class LrcNode(HlrcNode):
             version = version.merge(r.vt)
         if apply_cost:
             yield Timeout(apply_cost)
-        entry.state = PageState.CLEAN
+        self.pagetable.set_state(page, PageState.CLEAN, "fill")
         entry.version = version
         self.stats.count("page_faults")
         self.stats.count("diff_fetch_round_trips", len(sigs))

@@ -129,7 +129,7 @@ class MigratingHlrcNode(HlrcNode):
         self._rotate_phase()
         self._apply_migrations(getattr(msg.payload, "migrations", []))
         yield from self._apply_notices(msg.payload.records)
-        self.hooks.on_notices_received(msg.payload.records, 0)
+        self.hooks.notify_notices_received(msg.payload.records, 0)
         self.peer_known_vt[mgr] = self.vt
 
     def _manage_barrier_checkin(self, msg: BarrierCheckin) -> None:
@@ -176,7 +176,7 @@ class MigratingHlrcNode(HlrcNode):
         self._apply_migrations(migrations)
         own_records = self.table.records_not_covered_by(self.vt)
         yield from self._apply_notices(own_records)
-        self.hooks.on_notices_received(own_records, 0)
+        self.hooks.notify_notices_received(own_records, 0)
         for node, _vt in participants:
             self.peer_known_vt[node] = self.peer_known_vt[node].merge(self.vt)
         self._last_barrier_vt = self.vt

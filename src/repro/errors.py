@@ -23,6 +23,9 @@ __all__ = [
     "RecoveryError",
     "ApplicationError",
     "HarnessError",
+    "AnalysisError",
+    "InvariantViolationError",
+    "RecoverabilityError",
 ]
 
 
@@ -99,3 +102,15 @@ class ApplicationError(ReproError):
 
 class HarnessError(ReproError):
     """The experiment harness was driven with inconsistent arguments."""
+
+
+class AnalysisError(ReproError):
+    """Base class for the coherence sanitizer (:mod:`repro.analysis`)."""
+
+
+class InvariantViolationError(AnalysisError):
+    """A trace broke a protocol invariant the checker enforces."""
+
+
+class RecoverabilityError(AnalysisError):
+    """The logs cannot reconstruct a page version recovery would need."""

@@ -7,9 +7,12 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro fig4   [--scale bench]
     python -m repro fig5   [--scale bench] [--failed-node 3]
     python -m repro all    [--scale test|bench]
+    python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
 
 Each command prints the rendered table/figure; ``--csv PREFIX`` also
-writes the underlying rows to ``PREFIX_<name>.csv``.
+writes the underlying rows to ``PREFIX_<name>.csv``.  ``analyze`` runs
+the coherence sanitizer (see :mod:`repro.analysis`) over a saved trace
+or a fresh traced run.
 """
 
 from __future__ import annotations
@@ -35,9 +38,15 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         choices=["table1", "table2", "fig4", "fig5", "breakdown", "report",
-                 "all"],
-        help="which artefact to regenerate",
+                 "analyze", "all"],
+        help="which artefact to regenerate (or 'analyze' to run the "
+             "coherence sanitizer)",
     )
+    p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
+                   help="analyze: a saved JSONL trace to check (omit to "
+                        "run --apps under the sanitizer instead)")
+    p.add_argument("--save-trace", default=None, metavar="PATH",
+                   help="analyze: also save the run's trace as JSONL")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="write the report command's Markdown here "
                         "(default: stdout)")
@@ -66,6 +75,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = _parser().parse_args(argv)
     config = ClusterConfig.ultra5(num_nodes=args.nodes)
+
+    if args.command == "analyze":
+        from .analyze import run_analyze
+
+        return run_analyze(args)
 
     if args.command in ("table1", "all"):
         print(render_table1(args.apps))

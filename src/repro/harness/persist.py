@@ -9,7 +9,7 @@ re-simulating.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from ..core import MultiRecoveryResult, RecoveryResult
 from ..dsm.system import RunResult

@@ -9,14 +9,18 @@ harness's fault statistics.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 import numpy as np
 
 from ..errors import PageError
 from .page import PageState
 
-__all__ = ["PageEntry", "PageTable"]
+__all__ = ["PageEntry", "PageTable", "TransitionFn"]
+
+#: Callback fired on every page-state transition:
+#: ``fn(page, old_state, new_state, reason)``.
+TransitionFn = Callable[[int, PageState, PageState, str], None]
 
 
 class PageEntry:
@@ -52,6 +56,9 @@ class PageTable:
         self.dirty_pages: set[int] = set()
         self.invalidations = 0
         self.twin_creations = 0
+        #: Optional observer of state-machine transitions (the coherence
+        #: sanitizer's tracer hook); None keeps transitions free.
+        self.on_transition: Optional[TransitionFn] = None
 
     # ------------------------------------------------------------------
     def entry(self, page: int) -> PageEntry:
@@ -69,6 +76,21 @@ class PageTable:
         return (p for p in range(self.npages) if self._entries[p].home == self.node)
 
     # ------------------------------------------------------------------
+    def set_state(self, page: int, state: PageState, reason: str = "") -> PageEntry:
+        """Move ``page`` to ``state``, notifying :attr:`on_transition`.
+
+        All protocol-level state changes funnel through here so the
+        state machine is observable; a same-state call is a no-op (no
+        event fires).
+        """
+        entry = self.entry(page)
+        old = entry.state
+        if old is not state:
+            entry.state = state
+            if self.on_transition is not None:
+                self.on_transition(page, old, state, reason)
+        return entry
+
     def invalidate(self, page: int) -> bool:
         """Drop the local copy of a non-home page; returns True if it was valid.
 
@@ -79,7 +101,7 @@ class PageTable:
         if entry.home == self.node:
             raise PageError(f"node {self.node} cannot invalidate its home page {page}")
         was_valid = entry.state is not PageState.INVALID
-        entry.state = PageState.INVALID
+        self.set_state(page, PageState.INVALID, "invalidate")
         entry.twin = None
         if was_valid:
             self.invalidations += 1

@@ -1,17 +1,104 @@
-"""Optional event tracing.
+"""Optional event tracing with a typed, serialisable event schema.
 
-A :class:`Tracer` records ``(time, node, event, detail)`` tuples when
-enabled.  Tracing is off by default (zero overhead beyond one branch);
-tests and the recovery debugger turn it on to inspect protocol
-interleavings.
+A :class:`Tracer` records :class:`TraceEvent` tuples when enabled.
+Tracing is off by default (zero overhead beyond one branch); tests, the
+recovery debugger, and the coherence sanitizer
+(:mod:`repro.analysis`) turn it on to inspect protocol interleavings.
+
+Event names are the typed constants of :class:`Ev`.  Structured events
+carry a JSON-serialisable ``detail`` dict (vector clocks as plain int
+lists, page states as their string values), so a whole trace can round-
+trip through JSON Lines via :meth:`Tracer.to_jsonl` /
+:meth:`Tracer.from_jsonl` and be analysed offline with
+``python -m repro analyze <trace>``.
+
+The legacy scalar events (``acquire``/``release``/``barrier``/``seal``/
+``fault`` with a bare id as detail) are retained unchanged; the
+structured schema is additive.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Iterable, List, Optional
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["Ev", "TraceEvent", "Tracer"]
+
+
+class Ev:
+    """Typed event-name constants of the trace schema.
+
+    Scalar legacy events (detail is a bare id):
+
+    * :attr:`ACQUIRE`, :attr:`RELEASE`, :attr:`BARRIER`, :attr:`SEAL`,
+      :attr:`FAULT`
+
+    Structured events (detail is a JSON-safe dict):
+
+    * synchronisation: :attr:`LOCK_ACQUIRED`, :attr:`LOCK_RELEASED`,
+      :attr:`BARRIER_ENTER`, :attr:`BARRIER_EXIT` -- each carries the
+      node's applied vector timestamp ``vt``;
+    * manager side: :attr:`LOCK_GRANT`, :attr:`LOCK_QUEUE`,
+      :attr:`LOCK_FREE`, :attr:`BARRIER_CHECKIN`,
+      :attr:`BARRIER_ALL_IN`;
+    * intervals and diffs: :attr:`INTERVAL_END` (with word-granularity
+      write runs), :attr:`EARLY_DIFF`, :attr:`DIFF_SEND`,
+      :attr:`DIFF_APPLY`, :attr:`DIFF_ACKED`;
+    * page movement: :attr:`PAGE_SERVE`, :attr:`PAGE_FETCH` (both with
+      a CRC32 of the transferred bytes), :attr:`PAGE_STATE` for
+      page-table state-machine transitions;
+    * logging layer (emitted by
+      :class:`~repro.dsm.logginghooks.LoggingHooks`): :attr:`LOG_NOTICES`,
+      :attr:`LOG_FETCH`, :attr:`LOG_UPDATE`, :attr:`LOG_EARLY_DIFF`,
+      :attr:`LOG_INTERVAL`.
+    """
+
+    # -- legacy scalar events (kept stable for existing tooling) -------
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    BARRIER = "barrier"
+    SEAL = "seal"
+    FAULT = "fault"
+
+    # -- synchronisation (carry the node's own vt) ---------------------
+    LOCK_ACQUIRED = "lock_acquired"
+    LOCK_RELEASED = "lock_released"
+    BARRIER_ENTER = "barrier_enter"
+    BARRIER_EXIT = "barrier_exit"
+
+    # -- manager side --------------------------------------------------
+    LOCK_GRANT = "lock_grant"
+    LOCK_QUEUE = "lock_queue"
+    LOCK_FREE = "lock_free"
+    BARRIER_CHECKIN = "barrier_checkin"
+    BARRIER_ALL_IN = "barrier_all_in"
+
+    # -- intervals and diffs -------------------------------------------
+    INTERVAL_END = "interval_end"
+    EARLY_DIFF = "early_diff"
+    DIFF_SEND = "diff_send"
+    DIFF_APPLY = "diff_apply"
+    DIFF_ACKED = "diff_acked"
+
+    # -- page movement and state ---------------------------------------
+    PAGE_SERVE = "page_serve"
+    PAGE_FETCH = "page_fetch"
+    PAGE_STATE = "page_state"
+
+    # -- logging layer ---------------------------------------------------
+    LOG_NOTICES = "log_notices"
+    LOG_FETCH = "log_fetch"
+    LOG_UPDATE = "log_update"
+    LOG_EARLY_DIFF = "log_early_diff"
+    LOG_INTERVAL = "log_interval"
+
+    #: Events whose ``detail["vt"]`` is the emitting node's own applied
+    #: timestamp (the invariant checker's monotonicity set).
+    OWN_VT_EVENTS = frozenset(
+        {LOCK_ACQUIRED, LOCK_RELEASED, BARRIER_ENTER, BARRIER_EXIT, INTERVAL_END}
+    )
 
 
 @dataclass(frozen=True)
@@ -23,22 +110,49 @@ class TraceEvent:
     event: str
     detail: Any = None
 
+    def to_json(self) -> str:
+        """Encode as one JSON Lines record."""
+        return json.dumps(
+            {"t": self.time, "n": self.node, "e": self.event, "d": self.detail},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Decode one JSON Lines record."""
+        obj = json.loads(line)
+        return cls(obj["t"], obj["n"], obj["e"], obj.get("d"))
+
 
 class Tracer:
-    """Append-only trace buffer with simple filtering helpers."""
+    """Append-only trace buffer with simple filtering helpers.
 
-    def __init__(self, enabled: bool = False):
+    ``maxlen`` bounds the buffer: when set, only the most recent
+    ``maxlen`` events are retained (older events are dropped silently),
+    which keeps long benchmark runs from growing the trace without
+    bound.  The default is unbounded, preserving full traces for the
+    invariant checker.
+    """
+
+    def __init__(self, enabled: bool = False, maxlen: Optional[int] = None):
         self.enabled = enabled
-        self.events: List[TraceEvent] = []
+        self.maxlen = maxlen
+        if maxlen is None:
+            self.events: List[TraceEvent] = []
+        else:
+            self.events = deque(maxlen=maxlen)  # type: ignore[assignment]
+        self.dropped = 0
 
     def record(self, time: float, node: int, event: str, detail: Any = None) -> None:
         """Record an event if tracing is enabled."""
         if self.enabled:
+            if self.maxlen is not None and len(self.events) == self.maxlen:
+                self.dropped += 1
             self.events.append(TraceEvent(time, node, event, detail))
 
     def filter(self, event: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
         """Events matching the given event name and/or node."""
-        out = self.events
+        out: Iterable[TraceEvent] = self.events
         if event is not None:
             out = [e for e in out if e.event == event]
         if node is not None:
@@ -48,6 +162,38 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded events."""
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # ------------------------------------------------------------------
+    # offline (de)serialisation
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Encode the whole trace as JSON Lines (one event per line)."""
+        return "\n".join(e.to_json() for e in self.events)
+
+    @classmethod
+    def from_jsonl(cls, text: str, maxlen: Optional[int] = None) -> "Tracer":
+        """Rebuild a (disabled) tracer from :meth:`to_jsonl` output."""
+        tracer = cls(enabled=False, maxlen=maxlen)
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                tracer.events.append(TraceEvent.from_json(line))
+        return tracer
+
+    def save(self, path: str) -> int:
+        """Write the trace to ``path`` as JSON Lines; returns event count."""
+        with open(path, "w") as fh:
+            text = self.to_jsonl()
+            if text:
+                fh.write(text + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load(cls, path: str) -> "Tracer":
+        """Read a JSON Lines trace written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_jsonl(fh.read())

@@ -1,0 +1,62 @@
+"""Helpers for the coherence-sanitizer tests.
+
+These tests run *deliberately broken* programs and corrupt logs, so
+they must not go through the ``--sanitize`` wrapper (it would raise at
+``run()`` before the test can inspect the report).  :func:`raw_run`
+always calls the unwrapped ``DsmSystem.run``.
+"""
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.dsm import DsmSystem
+from repro.sim.trace import Tracer
+
+ELEMS = 64  # one 256-byte page of int32
+
+
+class MiniApp:
+    name = "mini"
+
+    def __init__(self, program, alloc=None, homes=None):
+        self._program = program
+        self._alloc = alloc
+        self._homes = homes
+
+    def allocate(self, space, nprocs):
+        if self._alloc is not None:
+            self._alloc(space, nprocs)
+        else:
+            space.allocate("x", (ELEMS,), np.int32,
+                           init=np.zeros(ELEMS, np.int32))
+
+    def homes(self, space, nprocs):
+        return self._homes(space, nprocs) if self._homes else None
+
+    def program(self, dsm):
+        yield from self._program(dsm)
+
+
+def build_system(
+    program: Callable,
+    nprocs: int = 3,
+    homes: Optional[Callable] = None,
+    hooks_factory=None,
+    alloc: Optional[Callable] = None,
+) -> DsmSystem:
+    """A traced small-page system for one ad-hoc program."""
+    config = ClusterConfig.ultra5(num_nodes=nprocs, page_size=256)
+    return DsmSystem(
+        MiniApp(program, alloc=alloc, homes=homes),
+        config,
+        hooks_factory,
+        tracer=Tracer(enabled=True),
+    )
+
+
+def raw_run(system: DsmSystem, **kwargs):
+    """Run bypassing any installed sanitizer wrapper."""
+    run = getattr(DsmSystem.run, "__wrapped__", DsmSystem.run)
+    return run(system, **kwargs)

@@ -1,0 +1,170 @@
+"""The AST lint pass, rule by rule, on inline snippets."""
+
+import pathlib
+import textwrap
+
+from repro.analysis.lint import lint_paths, lint_source, main
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def codes(source: str):
+    return [f.code for f in lint_source(textwrap.dedent(source))]
+
+
+class TestGen001:
+    def test_generator_annotation_without_yield(self):
+        assert codes("""
+            from typing import Any, Generator
+            def step() -> Generator[Any, Any, None]:
+                return None
+        """) == ["GEN001"]
+
+    def test_yield_satisfies_annotation(self):
+        assert codes("""
+            from typing import Any, Generator
+            def step() -> Generator[Any, Any, None]:
+                yield 1
+        """) == []
+
+    def test_yield_from_satisfies_annotation(self):
+        assert codes("""
+            from typing import Any, Generator
+            def step(inner) -> Generator[Any, Any, None]:
+                yield from inner()
+        """) == []
+
+    def test_nested_function_yield_does_not_count(self):
+        assert codes("""
+            from typing import Any, Generator
+            def step() -> Generator[Any, Any, None]:
+                def inner():
+                    yield 1
+                return inner()
+        """) == ["GEN001"]
+
+    def test_abstract_stub_is_exempt(self):
+        assert codes("""
+            from typing import Any, Generator
+            def step() -> Generator[Any, Any, None]:
+                raise NotImplementedError
+            def doc_only() -> Generator[Any, Any, None]:
+                \"\"\"Subclasses implement.\"\"\"
+        """) == []
+
+    def test_iterator_annotation_is_exempt(self):
+        assert codes("""
+            from typing import Iterator
+            def pages() -> Iterator[int]:
+                return iter(range(4))
+        """) == []
+
+
+class TestBlk001:
+    def test_sleep_flagged(self):
+        assert codes("""
+            import time
+            def serve():
+                time.sleep(1)
+        """) == ["BLK001"]
+
+    def test_input_inside_generator_flagged(self):
+        assert codes("""
+            def serve():
+                while True:
+                    input()
+                    yield
+        """) == ["BLK001"]
+
+    def test_input_outside_generator_ignored(self):
+        assert codes("""
+            def prompt():
+                return input()
+        """) == []
+
+
+class TestMut001:
+    def test_mutable_parameter_default(self):
+        assert codes("""
+            def f(xs=[]):
+                return xs
+        """) == ["MUT001"]
+
+    def test_mutable_dataclass_field(self):
+        assert codes("""
+            from dataclasses import dataclass
+            @dataclass
+            class Event:
+                pages: list = []
+        """) == ["MUT001"]
+
+    def test_default_factory_is_fine(self):
+        assert codes("""
+            from dataclasses import dataclass, field
+            @dataclass
+            class Event:
+                pages: list = field(default_factory=list)
+        """) == []
+
+    def test_immutable_defaults_are_fine(self):
+        assert codes("""
+            def f(a=1, b=None, c=(1, 2)):
+                return a
+        """) == []
+
+
+class TestDet001:
+    def test_wall_clock_flagged(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()
+        """) == ["DET001"]
+
+    def test_global_random_flagged(self):
+        assert codes("""
+            import random
+            def roll():
+                return random.random()
+        """) == ["DET001"]
+
+    def test_numpy_global_random_flagged(self):
+        assert codes("""
+            import numpy as np
+            def noise(n):
+                return np.random.rand(n)
+        """) == ["DET001"]
+
+    def test_seeded_numpy_rng_allowed(self):
+        assert codes("""
+            import numpy as np
+            def noise(n, seed):
+                rng = np.random.RandomState(seed)
+                gen = np.random.default_rng(seed)
+                return rng.rand(n) + gen.random(n)
+        """) == []
+
+
+class TestHarness:
+    def test_suppression_marker(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()  # lint: ignore
+        """) == []
+
+    def test_finding_format_is_clickable(self):
+        finding = lint_source("import time\ntime.sleep(1)\n", "x.py")[0]
+        assert str(finding).startswith("x.py:2:1: BLK001")
+
+    def test_repo_source_tree_is_clean(self):
+        assert lint_paths([str(SRC)]) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\ntime.sleep(1)\n")
+        assert main([str(bad)]) == 1
+        assert "BLK001" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0

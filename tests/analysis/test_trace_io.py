@@ -1,0 +1,58 @@
+"""Tracer serialization: JSONL round-trip and the bounded buffer."""
+
+from repro.sim.trace import Ev, TraceEvent, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer(enabled=True)
+    t.record(0.0, 0, Ev.ACQUIRE, 1)
+    t.record(1.5, 1, Ev.LOCK_ACQUIRED, {"lock": 1, "vt": [1, 0]})
+    t.record(2.0, 1, Ev.PAGE_FETCH,
+             {"page": 3, "home": 0, "crc": 0xDEADBEEF, "version": [1, 0]})
+    return t
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_verbatim(self):
+        t = _sample_tracer()
+        back = Tracer.from_jsonl(t.to_jsonl())
+        assert list(back.events) == list(t.events)
+
+    def test_event_json_fields_are_compact(self):
+        ev = TraceEvent(2.0, 1, Ev.PAGE_FETCH, {"page": 3})
+        assert TraceEvent.from_json(ev.to_json()) == ev
+        assert set(ev.to_json()) >= set('{"t"')  # keys are t/n/e/d
+
+    def test_save_load(self, tmp_path):
+        t = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        n = t.save(str(path))
+        assert n == len(t) == 3
+        assert list(Tracer.load(str(path)).events) == list(t.events)
+
+    def test_blank_lines_ignored(self):
+        t = _sample_tracer()
+        back = Tracer.from_jsonl("\n" + t.to_jsonl() + "\n\n")
+        assert len(back) == 3
+
+
+class TestBoundedBuffer:
+    def test_maxlen_keeps_newest_and_counts_dropped(self):
+        t = Tracer(enabled=True, maxlen=4)
+        for i in range(10):
+            t.record(float(i), 0, Ev.SEAL, i)
+        assert len(t) == 4
+        assert t.dropped == 6
+        assert [e.detail for e in t.events] == [6, 7, 8, 9]
+
+    def test_unbounded_drops_nothing(self):
+        t = Tracer(enabled=True)
+        for i in range(10):
+            t.record(float(i), 0, Ev.SEAL, i)
+        assert len(t) == 10
+        assert t.dropped == 0
+
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(0.0, 0, Ev.SEAL, 1)
+        assert len(t) == 0

@@ -1,0 +1,32 @@
+"""Repo-wide pytest configuration: the ``--sanitize`` opt-in.
+
+``pytest --sanitize`` wraps every :class:`~repro.dsm.system.DsmSystem`
+run in the coherence sanitizer (:mod:`repro.analysis.sanitize`): the
+run is traced, and on completion the protocol invariant checker and the
+recoverability auditor both must pass, turning the whole suite into a
+protocol conformance test.  Without the flag the suite is unchanged.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every DSM run under the coherence sanitizer "
+             "(trace + invariant check + recoverability audit)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer(request):
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.analysis.sanitize import install
+
+    uninstall = install()
+    yield
+    uninstall()

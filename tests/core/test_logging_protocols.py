@@ -6,7 +6,6 @@ flush is overlapped with communication, and neither protocol perturbs
 the application's results.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ApplicationError, MemoryLayoutError
-from tests.dsm.conftest import MiniApp, run_app
+from tests.dsm.conftest import run_app
 
 
 def alloc(space, nprocs):

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.memory import PageState
-from tests.dsm.conftest import run_app, small_config
+from tests.dsm.conftest import run_app
 
 N = 4  # default rank count for these tests
 ELEMS = 64  # one test page of int32 = 64 elements

@@ -10,7 +10,6 @@ starts from.
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig
 from repro.core.detector import FailureDetector
 from repro.dsm import DsmSystem
 from repro.errors import ConfigError

@@ -13,12 +13,11 @@ from hypothesis import strategies as st
 from repro.apps import make_app
 from repro.config import ClusterConfig
 from repro.dsm import DsmSystem
-from repro.errors import ConfigError, ProtocolError
+from repro.errors import ConfigError
 from repro.core import make_hooks_factory
-from tests.dsm.conftest import MiniApp, run_app, small_config
+from tests.dsm.conftest import MiniApp, small_config
 from tests.dsm.test_coherence_random import (
     CHUNK,
-    CHUNKS,
     ELEMS,
     NPROCS,
     barrier_programs,

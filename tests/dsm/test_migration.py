@@ -7,7 +7,6 @@ from repro.apps import make_app
 from repro.config import ClusterConfig
 from repro.core import make_hooks_factory
 from repro.dsm import DsmSystem
-from repro.errors import ProtocolError
 from tests.dsm.conftest import MiniApp, small_config
 
 CFG8 = ClusterConfig.ultra5(num_nodes=8)
@@ -91,7 +90,6 @@ class TestMigrationProperties:
     def test_random_programs_agree_with_static_hlrc(self):
         """Property: migration never changes program-visible results."""
         from hypothesis import given, settings
-        from hypothesis import strategies as st
 
         from repro.apps import gather_global
         from tests.dsm.test_coherence_random import (

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ClusterConfig
 from repro.dsm import DsmSystem
 from repro.errors import ApplicationError, ConfigError
 from tests.dsm.conftest import MiniApp, small_config

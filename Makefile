@@ -3,7 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint sanitize test bench
+.PHONY: check lint sanitize test bench perf bench-parallel
+
+JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
 # Full gate: style (when ruff is available), the repo's own AST lint,
 # and the tier-1 suite with every DSM run under the coherence sanitizer.
@@ -25,3 +27,16 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Microbenchmark suite: kernel timings vs the reference oracles plus
+# end-to-end app wall times, written to BENCH_perf.json.
+perf:
+	$(PYTHON) -m repro perf
+
+# The paper's figures and both ablations, fanned out over all cores.
+# Output is byte-identical to serial runs (see docs/performance.md).
+bench-parallel:
+	$(PYTHON) -m repro fig4 --jobs $(JOBS)
+	$(PYTHON) -m repro fig5 --jobs $(JOBS)
+	$(PYTHON) -m repro ablation --which disk --jobs $(JOBS)
+	$(PYTHON) -m repro ablation --which pagesize --jobs $(JOBS)

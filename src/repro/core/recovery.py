@@ -101,7 +101,9 @@ class ReplayNode:
         self.cfg = config
         self.id = node_id
         self.memory = LocalMemory(space)
-        self.pagetable = PageTable(node_id, space.npages, homes)
+        self.pagetable = PageTable(
+            node_id, space.npages, homes, pool=space.buffer_pool
+        )
         for p in self.pagetable.home_pages():
             self.pagetable.entry(p).version = VectorClock.zero(config.num_nodes)
         self.vt = VectorClock.zero(config.num_nodes)

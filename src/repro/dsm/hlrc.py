@@ -98,7 +98,10 @@ class HlrcNode:
         self.net = system.network
         self.disk = system.disks[node_id]
         self.memory = LocalMemory(system.space)
-        self.pagetable = PageTable(node_id, system.space.npages, system.homes)
+        self.pagetable = PageTable(
+            node_id, system.space.npages, system.homes,
+            pool=system.space.buffer_pool,
+        )
         self.pagetable.on_transition = self._on_page_transition
         self.stats = NodeStats(node_id)
         self.hooks = hooks or NoLogging()

@@ -45,7 +45,7 @@ def records_nbytes(records: List[IntervalRecord]) -> int:
     return sum(r.nbytes for r in records)
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRequest:
     """Acquire request sent to the lock's manager node."""
 
@@ -59,7 +59,7 @@ class LockRequest:
         return MSG_FIXED_BYTES + self.vt.nbytes
 
 
-@dataclass
+@dataclass(slots=True)
 class LockGrant:
     """Ownership transfer, piggybacking uncovered write-invalidation notices."""
 
@@ -71,7 +71,7 @@ class LockGrant:
         return MSG_FIXED_BYTES + records_nbytes(self.records)
 
 
-@dataclass
+@dataclass(slots=True)
 class LockRelease:
     """Release notification carrying the releaser's new interval records."""
 
@@ -84,7 +84,7 @@ class LockRelease:
         return MSG_FIXED_BYTES + records_nbytes(self.records)
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffBatch:
     """All diffs one writer flushes to one home in one operation.
 
@@ -106,7 +106,7 @@ class DiffBatch:
         return MSG_FIXED_BYTES + self.vt.nbytes + sum(d.nbytes for d in self.diffs)
 
 
-@dataclass
+@dataclass(slots=True)
 class DiffAck:
     """Home's acknowledgement that a diff batch has been applied."""
 
@@ -119,7 +119,7 @@ class DiffAck:
         return MSG_FIXED_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class PageRequest:
     """Fault-time fetch of an up-to-date page copy from its home."""
 
@@ -131,7 +131,7 @@ class PageRequest:
         return MSG_FIXED_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class PageReply:
     """Home's reply: the page image and its version timestamp."""
 
@@ -144,7 +144,7 @@ class PageReply:
         return MSG_FIXED_BYTES + len(self.contents) + self.version.nbytes
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierCheckin:
     """Arrival at a barrier, carrying the node's new interval records.
 
@@ -171,7 +171,7 @@ class BarrierCheckin:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierRelease:
     """Manager's check-out, carrying the records the recipient lacks."""
 
@@ -194,7 +194,7 @@ class BarrierRelease:
 # ----------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class LogDiffRequest:
     """Recovery fetch of logged diffs from a surviving writer.
 
@@ -218,7 +218,7 @@ class LogDiffRequest:
         return MSG_FIXED_BYTES + 12 * (len(self.wants) + len(self.ranges))
 
 
-@dataclass
+@dataclass(slots=True)
 class LogDiffReply:
     """Logged diffs (with their interval timestamps) read from stable storage."""
 
@@ -233,7 +233,7 @@ class LogDiffReply:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ReconRequest:
     """Recovery prefetch of pages *as of* given versions, batched per home.
 
@@ -258,7 +258,7 @@ class ReconRequest:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ReconPage:
     """Per-page item in a :class:`ReconReply`.
 
@@ -290,7 +290,7 @@ class ReconPage:
         return n
 
 
-@dataclass
+@dataclass(slots=True)
 class ReconReply:
     """Home's batched answer to a :class:`ReconRequest`."""
 

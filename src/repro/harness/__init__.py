@@ -25,7 +25,7 @@ from .figures import (
     render_fig5,
     write_csv,
 )
-from .sweep import SweepPoint, render_sweep, sweep
+from .sweep import SweepPoint, parallel_map, render_sweep, sweep
 from .breakdown import breakdown_rows, render_breakdown
 from .report import generate_report
 from .persist import (
@@ -55,6 +55,7 @@ __all__ = [
     "write_csv",
     "SweepPoint",
     "sweep",
+    "parallel_map",
     "render_sweep",
     "breakdown_rows",
     "render_breakdown",

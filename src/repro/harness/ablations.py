@@ -1,0 +1,91 @@
+"""CLI-facing ablation sweeps (parallelisable variants of A2/A3).
+
+The pytest ablation benches under ``benchmarks/`` time one artefact
+each; this module exposes the same sweeps as plain functions so
+``python -m repro ablation --which disk --jobs 4`` can fan the variants
+out across processes.  Every measurement function is module-level (the
+process-pool pickling rule of :func:`repro.harness.sweep.sweep`), and
+each variant is an independent deterministic simulation, so parallel
+output is byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..config import ClusterConfig, DiskConfig
+from .runner import logging_comparison
+from .sweep import SweepPoint, render_sweep, sweep
+
+__all__ = ["ABLATIONS", "run_ablation"]
+
+
+def _disk_variants(config: ClusterConfig) -> List[Tuple[str, Dict[str, Any]]]:
+    disks = [
+        ("fast", DiskConfig(write_latency_s=0.1e-3, bandwidth_bps=30e6)),
+        ("default", DiskConfig()),
+        ("slow", DiskConfig(write_latency_s=2e-3, bandwidth_bps=3e6)),
+    ]
+    return [
+        (label, {"config": config.with_changes(disk=disk), "scale": "test"})
+        for label, disk in disks
+    ]
+
+
+def _measure_disk(label: str, params: Dict[str, Any]) -> Dict[str, float]:
+    cmp = logging_comparison("mg", params["config"], scale=params["scale"])
+    return {
+        "ml_overhead_pct": 100 * (cmp.normalized_time("ml") - 1),
+        "ccl_overhead_pct": 100 * (cmp.normalized_time("ccl") - 1),
+    }
+
+
+def _pagesize_variants(config: ClusterConfig) -> List[Tuple[str, Dict[str, Any]]]:
+    return [
+        (
+            f"{page}B",
+            {"config": config.with_changes(page_size=page), "scale": "test"},
+        )
+        for page in (1024, 4096, 16384)
+    ]
+
+
+def _measure_pagesize(label: str, params: Dict[str, Any]) -> Dict[str, float]:
+    cmp = logging_comparison("fft3d", params["config"], scale=params["scale"])
+    ml = cmp.results["ml"]
+    return {
+        "exec_none_s": cmp.row("none").exec_time_s,
+        "ml_log_mb": cmp.row("ml").total_log_mb,
+        "ccl_log_mb": cmp.row("ccl").total_log_mb,
+        "ccl_over_ml_pct": 100 * cmp.ccl_log_fraction,
+        "page_faults": float(ml.aggregate.counters.get("page_faults", 0)),
+    }
+
+
+#: name -> (title, variants builder, module-level measure function)
+ABLATIONS = {
+    "disk": (
+        "A2: disk speed vs logging overhead (MG)",
+        _disk_variants,
+        _measure_disk,
+    ),
+    "pagesize": (
+        "A3: page size vs traffic and log ratio (3D-FFT)",
+        _pagesize_variants,
+        _measure_pagesize,
+    ),
+}
+
+
+def run_ablation(
+    which: str, config: ClusterConfig, jobs: int = 1
+) -> Tuple[str, List[SweepPoint]]:
+    """Run one named ablation sweep; returns (rendered table, points)."""
+    try:
+        title, variants_fn, measure = ABLATIONS[which]
+    except KeyError:
+        raise KeyError(
+            f"unknown ablation {which!r}; choices: {sorted(ABLATIONS)}"
+        ) from None
+    points = sweep(variants_fn(config), measure, jobs=jobs)
+    return render_sweep(title, points), points

@@ -3,16 +3,22 @@
 Regenerates the paper's evaluation from the terminal::
 
     python -m repro table1
-    python -m repro table2 [--apps fft3d mg] [--scale bench]
-    python -m repro fig4   [--scale bench]
-    python -m repro fig5   [--scale bench] [--failed-node 3]
-    python -m repro all    [--scale test|bench]
+    python -m repro table2 [--apps fft3d mg] [--scale bench] [--jobs 4]
+    python -m repro fig4   [--scale bench] [--jobs 4]
+    python -m repro fig5   [--scale bench] [--failed-node 3] [--jobs 4]
+    python -m repro all    [--scale test|bench] [--jobs 4]
+    python -m repro ablation [--which disk|pagesize] [--jobs 4]
+    python -m repro perf   [--out BENCH_perf.json]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
 
 Each command prints the rendered table/figure; ``--csv PREFIX`` also
 writes the underlying rows to ``PREFIX_<name>.csv``.  ``analyze`` runs
 the coherence sanitizer (see :mod:`repro.analysis`) over a saved trace
-or a fresh traced run.
+or a fresh traced run.  ``--jobs N`` fans independent simulations
+(per-app comparisons, ablation variants) out over N processes; results
+are gathered in submission order, so the rendered tables are
+byte-identical to a serial run.  ``perf`` runs the microbenchmark suite
+(see :mod:`repro.harness.perf`) and writes ``BENCH_perf.json``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from typing import List, Optional
 from ..apps import PAPER_APPS
 from ..config import ClusterConfig
 from .figures import fig4_rows, fig5_rows, render_fig4, render_fig5, write_csv
-from .runner import logging_comparison, recovery_comparison
+from .runner import logging_comparison_task, recovery_comparison_task
+from .sweep import parallel_map
 from .tables import render_table1, render_table2_panel
 
 __all__ = ["main"]
@@ -38,9 +45,9 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         choices=["table1", "table2", "fig4", "fig5", "breakdown", "report",
-                 "analyze", "all"],
-        help="which artefact to regenerate (or 'analyze' to run the "
-             "coherence sanitizer)",
+                 "analyze", "ablation", "perf", "all"],
+        help="which artefact to regenerate ('analyze' runs the coherence "
+             "sanitizer, 'perf' the microbenchmark suite)",
     )
     p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
                    help="analyze: a saved JSONL trace to check (omit to "
@@ -68,6 +75,13 @@ def _parser() -> argparse.ArgumentParser:
                    help="node crashed in recovery experiments")
     p.add_argument("--csv", default=None, metavar="PREFIX",
                    help="also write CSV files with this path prefix")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan independent simulations out over N processes "
+                        "(default: serial; output is byte-identical)")
+    p.add_argument("--which", default="disk", choices=["disk", "pagesize"],
+                   help="ablation: which sweep to run")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="perf: timing repetitions per kernel (best-of)")
     return p
 
 
@@ -85,14 +99,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table1(args.apps))
         print()
 
+    if args.command == "ablation":
+        from .ablations import run_ablation
+
+        text, _points = run_ablation(args.which, config, jobs=args.jobs)
+        print(text)
+        return 0
+
+    if args.command == "perf":
+        from .perf import run_perf_suite, write_perf_json
+
+        report = run_perf_suite(apps=args.apps, repeat=args.repeat)
+        path = args.out or "BENCH_perf.json"
+        write_perf_json(report, path)
+        print(f"perf report written to {path}")
+        return 0
+
     if args.command in ("table2", "fig4", "all"):
-        comparisons = []
-        for name in args.apps:
-            cmp = logging_comparison(
-                name, config, args.scale, paper_mode=args.paper_mode
+        specs = [
+            dict(
+                app_name=name, config=config, scale=args.scale,
+                paper_mode=args.paper_mode,
             )
-            comparisons.append(cmp)
-            if args.command in ("table2", "all"):
+            for name in args.apps
+        ]
+        comparisons = parallel_map(logging_comparison_task, specs, jobs=args.jobs)
+        if args.command in ("table2", "all"):
+            for cmp in comparisons:
                 print(render_table2_panel(cmp))
                 print()
         if args.command in ("fig4", "all"):
@@ -124,13 +157,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
 
     if args.command in ("fig5", "all"):
-        recoveries = []
-        for name in args.apps:
-            recoveries.append(
-                recovery_comparison(
-                    name, config, args.scale, failed_node=args.failed_node
-                )
+        specs = [
+            dict(
+                app_name=name, config=config, scale=args.scale,
+                failed_node=args.failed_node,
             )
+            for name in args.apps
+        ]
+        recoveries = parallel_map(recovery_comparison_task, specs, jobs=args.jobs)
         print(render_fig5(recoveries))
         if args.csv:
             write_csv(fig5_rows(recoveries), f"{args.csv}_fig5.csv")

@@ -27,8 +27,10 @@ __all__ = [
     "ProtocolRow",
     "LoggingComparison",
     "logging_comparison",
+    "logging_comparison_task",
     "RecoveryComparison",
     "recovery_comparison",
+    "recovery_comparison_task",
 ]
 
 
@@ -143,6 +145,21 @@ def logging_comparison(
     return LoggingComparison(app_name, rows, results)
 
 
+def logging_comparison_task(spec: Dict) -> LoggingComparison:
+    """Picklable :func:`logging_comparison` wrapper for process fan-out.
+
+    ``spec`` carries the keyword arguments; the returned comparison is
+    stripped of live node objects (they hold generators and cannot
+    cross a process boundary; nothing downstream of the CLI renders
+    from them).  Serial runs use the same wrapper so serial and
+    parallel outputs come from identical code.
+    """
+    cmp = logging_comparison(**spec)
+    for result in cmp.results.values():
+        result.nodes = []
+    return cmp
+
+
 @dataclass
 class RecoveryComparison:
     """Figure 5 bar group for one application."""
@@ -204,3 +221,15 @@ def recovery_comparison(
     return RecoveryComparison(
         app_name, reexec.total_time, out["ml"], out["ccl"]
     )
+
+
+def recovery_comparison_task(spec: Dict) -> RecoveryComparison:
+    """Picklable :func:`recovery_comparison` wrapper for process fan-out.
+
+    Strips the phase-A run results (live nodes again); Figure 5 renders
+    purely from the recovery/re-execution times and replay statistics.
+    """
+    cmp = recovery_comparison(**spec)
+    cmp.ml.phase_a = None
+    cmp.ccl.phase_a = None
+    return cmp

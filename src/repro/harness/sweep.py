@@ -1,17 +1,30 @@
-"""Parameter sweeps for the ablation benches.
+"""Parameter sweeps for the ablation benches, serial or fanned out.
 
 :func:`sweep` runs a measurement function over variants of the cluster
 configuration (disk speed, page size, network latency, node count, home
 policy...) and tabulates one metric per variant -- the machinery behind
 the A1-A5 ablations in DESIGN.md.
+
+Simulated runs are deterministic and share nothing, so variants (and,
+at the CLI level, applications) fan out safely across processes:
+``jobs > 1`` dispatches the measurement function through a
+:class:`~concurrent.futures.ProcessPoolExecutor` while preserving the
+variant order, which makes parallel output byte-identical to a serial
+run.  The measurement callable must then be picklable -- a module-level
+function or :func:`functools.partial`, not a closure.  The default
+stays serial so timing tables quoted in EXPERIMENTS.md remain collected
+under identical single-process conditions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
 
-__all__ = ["SweepPoint", "sweep", "render_sweep"]
+__all__ = ["SweepPoint", "sweep", "render_sweep", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass
@@ -23,15 +36,49 @@ class SweepPoint:
     metrics: Dict[str, float]
 
 
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> List[R]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    With ``jobs <= 1`` (or fewer than two items) this is a plain serial
+    loop -- same process, same behaviour as before the parallel harness
+    existed.  Otherwise items are dispatched to a process pool and
+    results are returned **in input order**, so any output rendered
+    from them is byte-identical to the serial run.  ``fn`` and the
+    items must be picklable, and ``fn`` must not rely on mutated global
+    state (each worker imports the module fresh under spawn-style start
+    methods).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def _measure_variant(
+    task: Tuple[Callable[[str, Dict[str, Any]], Dict[str, float]], str, Dict[str, Any]],
+) -> SweepPoint:
+    measure, label, params = task
+    return SweepPoint(label, dict(params), measure(label, params))
+
+
 def sweep(
     variants: Iterable[Tuple[str, Dict[str, Any]]],
     measure: Callable[[str, Dict[str, Any]], Dict[str, float]],
+    jobs: int = 1,
 ) -> List[SweepPoint]:
-    """Run ``measure(label, params)`` for every variant."""
-    points = []
-    for label, params in variants:
-        points.append(SweepPoint(label, dict(params), measure(label, params)))
-    return points
+    """Run ``measure(label, params)`` for every variant.
+
+    ``jobs > 1`` fans the variants out over a process pool (see
+    :func:`parallel_map` for the determinism and picklability rules).
+    """
+    return parallel_map(
+        _measure_variant,
+        [(measure, label, params) for label, params in variants],
+        jobs=jobs,
+    )
 
 
 def render_sweep(title: str, points: List[SweepPoint]) -> str:

@@ -14,7 +14,8 @@ rather than modelled.
 
 from .page import PageState
 from .pagetable import PageEntry, PageTable
-from .diff import Diff, create_diff, apply_diff
+from .bufferpool import BufferPool
+from .diff import Diff, create_diff, apply_diff, merge_diffs, encode_diff, decode_diff
 from .addrspace import SharedAddressSpace, SharedVar
 from .sharedarray import LocalMemory, SharedArray, pages_in_byte_range
 
@@ -22,9 +23,13 @@ __all__ = [
     "PageState",
     "PageEntry",
     "PageTable",
+    "BufferPool",
     "Diff",
     "create_diff",
     "apply_diff",
+    "merge_diffs",
+    "encode_diff",
+    "decode_diff",
     "SharedAddressSpace",
     "SharedVar",
     "LocalMemory",

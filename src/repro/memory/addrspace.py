@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import MemoryLayoutError
+from .bufferpool import BufferPool
 
 __all__ = ["SharedVar", "SharedAddressSpace"]
 
@@ -62,6 +63,19 @@ class SharedAddressSpace:
         self._initial: Dict[str, np.ndarray] = {}
         self._end = 0
         self._sealed = False
+        self._pool: Optional[BufferPool] = None
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        """Shared page-buffer recycler for every node over this space.
+
+        All page-sized scratch buffers (twins, replay frames) of one
+        simulated cluster are interchangeable, so a single free list
+        per address space captures the whole release-time churn.
+        """
+        if self._pool is None:
+            self._pool = BufferPool(self.page_size)
+        return self._pool
 
     # ------------------------------------------------------------------
     def allocate(

@@ -1,0 +1,77 @@
+"""Recycled fixed-size page buffers.
+
+Release-time twin churn used to allocate a fresh page-sized array at
+every write fault and drop it at every interval end -- for long runs
+that is one allocation per (page, interval) pair.  A :class:`BufferPool`
+keeps a bounded free list of page-sized ``uint8`` arrays so the steady
+state allocates nothing: :meth:`take_copy` reuses a retired buffer and
+overwrites it, :meth:`give` retires one.
+
+Safety contract: a buffer handed to :meth:`give` must no longer be
+referenced by anyone else.  The page table honours this by recycling a
+twin only when the protocol discards it (``drop_twin`` after the diff
+has been created -- diffs copy the words they keep -- or
+``invalidate``); buffers that escape into messages or logs are plain
+copies and never pooled.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Bounded free list of same-sized 1-D ``uint8`` buffers."""
+
+    __slots__ = ("nbytes", "max_free", "_free", "allocations", "reuses")
+
+    def __init__(self, nbytes: int, max_free: int = 512):
+        if nbytes <= 0:
+            raise ValueError(f"bad buffer size {nbytes}")
+        self.nbytes = nbytes
+        self.max_free = max_free
+        self._free: List[np.ndarray] = []
+        #: Fresh arrays handed out (pool misses).
+        self.allocations = 0
+        #: Recycled arrays handed out (pool hits).
+        self.reuses = 0
+
+    def take(self) -> np.ndarray:
+        """An uninitialised buffer of :attr:`nbytes` bytes."""
+        if self._free:
+            self.reuses += 1
+            return self._free.pop()
+        self.allocations += 1
+        return np.empty(self.nbytes, dtype=np.uint8)
+
+    def take_copy(self, contents: np.ndarray) -> np.ndarray:
+        """A buffer pre-filled with a copy of ``contents``."""
+        buf = self.take()
+        np.copyto(buf, contents)
+        return buf
+
+    def give(self, buf: np.ndarray) -> None:
+        """Retire a buffer for reuse (silently drops foreign shapes/views)."""
+        if (
+            len(self._free) < self.max_free
+            and buf.dtype == np.uint8
+            and buf.ndim == 1
+            and buf.size == self.nbytes
+            and buf.base is None
+        ):
+            self._free.append(buf)
+
+    @property
+    def free_count(self) -> int:
+        """Buffers currently parked in the free list."""
+        return len(self._free)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferPool {self.nbytes}B free={self.free_count} "
+            f"alloc={self.allocations} reuse={self.reuses}>"
+        )

@@ -12,68 +12,153 @@ The encoded size (:attr:`Diff.nbytes`) follows the classic wire format:
 a fixed header plus, per run, an (offset, length) pair and the run's
 words.  Log-size statistics in the evaluation are sums of these real
 encoded sizes.
+
+Representation
+--------------
+
+A diff is stored *flat*: one sorted ``offsets`` integer array naming
+every modified word and one parallel ``words`` ``uint32`` array with
+the new contents.  The run-length view (:attr:`Diff.runs`) is derived
+lazily for code that walks runs (tracing, log inspection); the hot
+kernels -- :func:`create_diff`, :func:`merge_diffs`, :func:`apply_diff`
+-- operate on the flat arrays with pure NumPy run algebra and never
+loop per word or per run in Python.  :func:`encode_diff` /
+:func:`decode_diff` translate between the flat form and the packed
+run-length wire/log byte layout; the words block is shared zero-copy
+in both directions.
+
+The pre-vectorisation implementations are preserved verbatim in
+:mod:`repro.memory.reference` and serve as oracles for the property
+tests and as the baseline the microbenchmarks measure speedups against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import WORD_SIZE
 from ..errors import DiffError
 
-__all__ = ["Diff", "create_diff", "apply_diff", "merge_diffs"]
+__all__ = [
+    "Diff",
+    "create_diff",
+    "apply_diff",
+    "merge_diffs",
+    "encode_diff",
+    "decode_diff",
+]
 
 #: Encoded bytes for the diff header (page id, word count, run count, flags).
 DIFF_HEADER_BYTES = 16
 #: Encoded bytes per run header (word offset, run length).
 RUN_HEADER_BYTES = 8
 
+_EMPTY_OFFSETS = np.empty(0, dtype=np.int64)
+_EMPTY_WORDS = np.empty(0, dtype=np.uint32)
+_EMPTY_OFFSETS.setflags(write=False)
+_EMPTY_WORDS.setflags(write=False)
 
-@dataclass
+
 class Diff:
     """A summary of modifications to one page.
 
-    ``runs`` holds ``(word_offset, words)`` pairs where ``words`` is a
-    ``uint32`` array owning its data (safe to keep after the source page
-    mutates).  An empty run list is a legal "no changes" diff.
+    ``offsets`` holds the ascending word offsets of every modified word
+    and ``words`` the corresponding new ``uint32`` contents; both own
+    their data (safe to keep after the source page mutates).  An empty
+    pair is a legal "no changes" diff.  :attr:`runs` presents the same
+    data as ``(word_offset, words)`` pairs, built on first access; the
+    per-run arrays are views into :attr:`words`, so mutating them (the
+    tests do) stays coherent with the flat form.
     """
 
-    page: int
-    runs: List[Tuple[int, np.ndarray]] = field(default_factory=list)
+    __slots__ = ("page", "offsets", "words", "_runs")
+
+    def __init__(self, page: int, runs: Optional[List[Tuple[int, np.ndarray]]] = None):
+        self.page = page
+        self._runs: Optional[List[Tuple[int, np.ndarray]]] = None
+        if not runs:
+            self.offsets = _EMPTY_OFFSETS
+            self.words = _EMPTY_WORDS
+            return
+        off_parts = []
+        word_parts = []
+        for off, words in runs:
+            w = np.ascontiguousarray(words, dtype=np.uint32)
+            off_parts.append(np.arange(off, off + len(w), dtype=np.int64))
+            word_parts.append(w)
+        self.offsets = np.concatenate(off_parts)
+        self.words = np.concatenate(word_parts)
+
+    @classmethod
+    def from_flat(cls, page: int, offsets: np.ndarray, words: np.ndarray) -> "Diff":
+        """Wrap pre-built flat arrays (must be sorted, strictly increasing).
+
+        The arrays are adopted without copying; callers hand over
+        ownership.  This is the constructor the vectorised kernels use.
+        """
+        d = cls.__new__(cls)
+        d.page = page
+        d.offsets = offsets
+        d.words = words
+        d._runs = None
+        return d
 
     @property
     def word_count(self) -> int:
         """Total modified words across all runs."""
-        return sum(len(words) for _off, words in self.runs)
+        return int(self.offsets.size)
+
+    @property
+    def run_count(self) -> int:
+        """Number of coalesced runs of consecutive modified words."""
+        if self.offsets.size == 0:
+            return 0
+        return int(np.count_nonzero(np.diff(self.offsets) > 1)) + 1
 
     @property
     def nbytes(self) -> int:
         """Encoded wire/log size in bytes."""
         return (
             DIFF_HEADER_BYTES
-            + RUN_HEADER_BYTES * len(self.runs)
+            + RUN_HEADER_BYTES * self.run_count
             + WORD_SIZE * self.word_count
         )
 
     @property
     def is_empty(self) -> bool:
         """True when no words changed."""
-        return not self.runs
+        return self.offsets.size == 0
+
+    @property
+    def runs(self) -> List[Tuple[int, np.ndarray]]:
+        """Run-length view: ``(word_offset, words)`` pairs, ascending."""
+        if self._runs is None:
+            if self.offsets.size == 0:
+                self._runs = []
+            else:
+                breaks = np.flatnonzero(np.diff(self.offsets) > 1) + 1
+                starts = self.offsets[np.concatenate(([0], breaks))]
+                self._runs = [
+                    (int(s), seg)
+                    for s, seg in zip(starts, np.split(self.words, breaks))
+                ]
+        return self._runs
 
     def word_offsets(self) -> np.ndarray:
         """All modified word offsets, ascending (for overlap checks)."""
-        if not self.runs:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(
-            [np.arange(off, off + len(words)) for off, words in self.runs]
-        )
+        return self.offsets
 
     def copy(self) -> "Diff":
         """Deep copy (the recovery path replays diffs multiple times)."""
-        return Diff(self.page, [(off, words.copy()) for off, words in self.runs])
+        return Diff.from_flat(self.page, self.offsets.copy(), self.words.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Diff(page={self.page}, words={self.word_count}, "
+            f"runs={self.run_count})"
+        )
 
 
 def _as_words(buf: np.ndarray) -> np.ndarray:
@@ -99,13 +184,10 @@ def create_diff(page: int, twin: np.ndarray, current: np.ndarray) -> Diff:
     changed = np.flatnonzero(tw != cw)
     if changed.size == 0:
         return Diff(page)
-    # split the sorted changed-word indices into consecutive runs
-    breaks = np.flatnonzero(np.diff(changed) > 1) + 1
-    runs: List[Tuple[int, np.ndarray]] = []
-    for segment in np.split(changed, breaks):
-        off = int(segment[0])
-        runs.append((off, cw[off : off + len(segment)].copy()))
-    return Diff(page, runs)
+    # fancy indexing copies, so the diff owns its words
+    return Diff.from_flat(
+        page, changed.astype(np.int64, copy=False), cw[changed]
+    )
 
 
 def merge_diffs(first: Diff, second: Diff) -> Diff:
@@ -116,43 +198,114 @@ def merge_diffs(first: Diff, second: Diff) -> Diff:
     page mid-interval, followed by a normal end-of-interval diff after
     the page was refetched and written again.  The log keeps one merged
     diff per (page, interval) so recovery lookups stay unambiguous.
+
+    Pure run algebra on the flat arrays: concatenate, stable-sort by
+    offset, and keep the last entry of every duplicate offset (which is
+    ``second``'s, because it was concatenated after ``first``).
     """
     if first.page != second.page:
         raise DiffError(
             f"cannot merge diffs of pages {first.page} and {second.page}"
         )
-    words: dict[int, int] = {}
-    for d in (first, second):
-        for off, run in d.runs:
-            for k, w in enumerate(run):
-                words[off + k] = int(w)
-    if not words:
-        return Diff(first.page)
-    offsets = sorted(words)
-    runs: List[Tuple[int, np.ndarray]] = []
-    start = prev = offsets[0]
-    vals = [words[start]]
-    for o in offsets[1:]:
-        if o == prev + 1:
-            vals.append(words[o])
-        else:
-            runs.append((start, np.array(vals, dtype=np.uint32)))
-            start = o
-            vals = [words[o]]
-        prev = o
-    runs.append((start, np.array(vals, dtype=np.uint32)))
-    return Diff(first.page, runs)
+    if first.is_empty:
+        return second.copy()
+    if second.is_empty:
+        return first.copy()
+    offsets = np.concatenate([first.offsets, second.offsets])
+    words = np.concatenate([first.words, second.words])
+    order = np.argsort(offsets, kind="stable")
+    offsets = offsets[order]
+    words = words[order]
+    keep = np.empty(offsets.size, dtype=bool)
+    keep[-1] = True
+    np.not_equal(offsets[1:], offsets[:-1], out=keep[:-1])
+    return Diff.from_flat(first.page, offsets[keep], words[keep])
 
 
 def apply_diff(diff: Diff, target: np.ndarray) -> int:
     """Write the diff's words into ``target`` (1-D uint8); returns words applied."""
     tw = _as_words(target)
-    applied = 0
-    for off, words in diff.runs:
-        if off < 0 or off + len(words) > len(tw):
-            raise DiffError(
-                f"diff run [{off}, {off + len(words)}) outside page of {len(tw)} words"
-            )
-        tw[off : off + len(words)] = words
-        applied += len(words)
-    return applied
+    offsets = diff.offsets
+    if offsets.size == 0:
+        return 0
+    first = int(offsets[0])
+    last = int(offsets[-1])
+    if first < 0 or last >= tw.size:
+        raise DiffError(
+            f"diff words [{first}, {last}] outside page of {tw.size} words"
+        )
+    if last - first + 1 == offsets.size:
+        # one dense run (the common shape for array-section writes):
+        # a straight slice copy beats fancy indexing
+        tw[first : last + 1] = diff.words
+    else:
+        tw[offsets] = diff.words
+    return int(offsets.size)
+
+
+# ----------------------------------------------------------------------
+# packed wire/log encoding
+# ----------------------------------------------------------------------
+
+def encode_diff(diff: Diff) -> np.ndarray:
+    """Pack a diff into its wire/log byte layout (a 1-D ``uint8`` array).
+
+    Layout (little-endian, exactly :attr:`Diff.nbytes` bytes)::
+
+        uint32 page | uint32 word_count | uint32 run_count | uint32 flags
+        int32 (start, length) per run
+        uint32 word per modified word
+
+    The run table is derived with vectorised run algebra and the words
+    block is the diff's ``words`` array viewed as bytes (no per-word
+    Python work anywhere).
+    """
+    wc = diff.word_count
+    if wc == 0:
+        header = np.array([diff.page, 0, 0, 0], dtype=np.uint32)
+        return header.view(np.uint8).copy()
+    offsets = diff.offsets
+    breaks = np.flatnonzero(np.diff(offsets) > 1) + 1
+    bounds = np.concatenate(([0], breaks, [wc]))
+    run_table = np.empty((bounds.size - 1, 2), dtype=np.int32)
+    run_table[:, 0] = offsets[bounds[:-1]]
+    run_table[:, 1] = np.diff(bounds)
+    header = np.array([diff.page, wc, run_table.shape[0], 0], dtype=np.uint32)
+    return np.concatenate(
+        [
+            header.view(np.uint8),
+            run_table.reshape(-1).view(np.uint8),
+            np.ascontiguousarray(diff.words).view(np.uint8),
+        ]
+    )
+
+
+def decode_diff(buf: np.ndarray) -> Diff:
+    """Unpack :func:`encode_diff` output back into a :class:`Diff`.
+
+    The words array of the returned diff is a zero-copy view into
+    ``buf``; the offsets are rebuilt from the run table with one
+    ``repeat``/``cumsum`` pass.
+    """
+    if buf.dtype != np.uint8 or buf.ndim != 1 or buf.size < DIFF_HEADER_BYTES:
+        raise DiffError("malformed packed diff: bad buffer")
+    header = buf[:DIFF_HEADER_BYTES].view(np.uint32)
+    page, wc, rc = int(header[0]), int(header[1]), int(header[2])
+    expected = DIFF_HEADER_BYTES + RUN_HEADER_BYTES * rc + WORD_SIZE * wc
+    if buf.size != expected:
+        raise DiffError(
+            f"malformed packed diff: {buf.size} bytes, header implies {expected}"
+        )
+    if wc == 0:
+        return Diff(page)
+    run_end = DIFF_HEADER_BYTES + RUN_HEADER_BYTES * rc
+    run_table = buf[DIFF_HEADER_BYTES:run_end].view(np.int32).reshape(rc, 2)
+    starts = run_table[:, 0].astype(np.int64)
+    lengths = run_table[:, 1].astype(np.int64)
+    if int(lengths.sum()) != wc:
+        raise DiffError("malformed packed diff: run lengths != word count")
+    # offsets = for each run, start + 0..length-1, concatenated
+    base = np.repeat(starts - np.concatenate(([0], np.cumsum(lengths[:-1]))), lengths)
+    offsets = base + np.arange(wc, dtype=np.int64)
+    words = buf[run_end:].view(np.uint32)
+    return Diff.from_flat(page, offsets, words)

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterator, List, Optional
 import numpy as np
 
 from ..errors import PageError
+from .bufferpool import BufferPool
 from .page import PageState
 
 __all__ = ["PageEntry", "PageTable", "TransitionFn"]
@@ -46,11 +47,19 @@ class PageEntry:
 class PageTable:
     """All page entries of one node, plus transition counters."""
 
-    def __init__(self, node: int, npages: int, homes: List[int]):
+    def __init__(
+        self,
+        node: int,
+        npages: int,
+        homes: List[int],
+        pool: Optional[BufferPool] = None,
+    ):
         if len(homes) != npages:
             raise PageError(f"{npages} pages but {len(homes)} home assignments")
         self.node = node
         self.npages = npages
+        #: Optional recycler for twin buffers; None allocates per twin.
+        self.pool = pool
         self._entries = [PageEntry(p, homes[p]) for p in range(npages)]
         #: Pages written during the current interval (home and non-home).
         self.dirty_pages: set[int] = set()
@@ -102,7 +111,7 @@ class PageTable:
             raise PageError(f"node {self.node} cannot invalidate its home page {page}")
         was_valid = entry.state is not PageState.INVALID
         self.set_state(page, PageState.INVALID, "invalidate")
-        entry.twin = None
+        self._retire_twin(entry)
         if was_valid:
             self.invalidations += 1
         return was_valid
@@ -115,13 +124,26 @@ class PageTable:
         entry = self.entry(page)
         if entry.twin is not None:
             raise PageError(f"page {page} already has a twin")
-        entry.twin = contents.copy()
+        if self.pool is not None:
+            entry.twin = self.pool.take_copy(contents)
+        else:
+            entry.twin = contents.copy()
         self.twin_creations += 1
         return entry.twin
 
     def drop_twin(self, page: int) -> None:
-        """Discard the twin after its diff has been created."""
-        self.entry(page).twin = None
+        """Discard the twin after its diff has been created.
+
+        The buffer goes back to the pool: by this point the diff owns
+        copies of every word it kept, and nothing else references the
+        twin (served page replies copy out of it).
+        """
+        self._retire_twin(self.entry(page))
+
+    def _retire_twin(self, entry: PageEntry) -> None:
+        if entry.twin is not None and self.pool is not None:
+            self.pool.give(entry.twin)
+        entry.twin = None
 
     def mark_dirty(self, page: int) -> None:
         """Add ``page`` to the current interval's dirty set."""

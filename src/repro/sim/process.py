@@ -32,6 +32,11 @@ class SimProcess:
     it finishes and evaluates to its result.
     """
 
+    __slots__ = (
+        "sim", "gen", "name", "finished", "killed", "result", "error",
+        "done", "_waiting_on", "_started",
+    )
+
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str):
         self.sim = sim
         self.gen = gen

@@ -1,0 +1,64 @@
+"""Parallel fan-out must be byte-identical to serial execution.
+
+``parallel_map`` gathers process-pool results in submission order, so
+any deterministic task function yields the same list at any ``--jobs``
+level; these tests pin that contract for the raw helper, for ``sweep``,
+and for the real simulation task the CLI fans out.
+"""
+
+from typing import Any, Dict
+
+from repro.config import ClusterConfig
+from repro.harness import parallel_map, sweep
+from repro.harness.runner import logging_comparison_task
+
+CFG = ClusterConfig.ultra5(num_nodes=8)
+
+
+def square_task(n: int) -> int:
+    # module-level: process pools pickle tasks by qualified name
+    return n * n
+
+
+def measure_scaled(label: str, params: Dict[str, Any]) -> Dict[str, float]:
+    return {"value": params["x"] * 10.0}
+
+
+class TestParallelMap:
+    def test_serial_matches_parallel(self):
+        items = list(range(20))
+        assert parallel_map(square_task, items, jobs=1) == \
+            parallel_map(square_task, items, jobs=4)
+
+    def test_order_preserved(self):
+        assert parallel_map(square_task, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_empty_and_single_item(self):
+        assert parallel_map(square_task, [], jobs=4) == []
+        assert parallel_map(square_task, [7], jobs=4) == [49]
+
+
+class TestSweepJobs:
+    VARIANTS = [(f"v{i}", {"x": i}) for i in range(5)]
+
+    def test_sweep_parallel_matches_serial(self):
+        serial = sweep(self.VARIANTS, measure_scaled, jobs=1)
+        parallel = sweep(self.VARIANTS, measure_scaled, jobs=3)
+        assert [(p.label, p.metrics) for p in serial] == \
+            [(p.label, p.metrics) for p in parallel]
+
+
+class TestSimulationFanout:
+    def test_logging_comparison_task_parallel_is_deterministic(self):
+        """The CLI's fig4/table2 fan-out: same rows at any jobs level."""
+        specs = [
+            dict(app_name="fft3d", config=CFG, scale="test",
+                 paper_mode=False),
+            dict(app_name="water", config=CFG, scale="test",
+                 paper_mode=False),
+        ]
+        serial = parallel_map(logging_comparison_task, specs, jobs=1)
+        fanned = parallel_map(logging_comparison_task, specs, jobs=2)
+        assert [c.app_name for c in serial] == [c.app_name for c in fanned]
+        for a, b in zip(serial, fanned):
+            assert a.rows == b.rows

@@ -1,0 +1,26 @@
+"""Tests for the perf suite plumbing (fast paths only; no full timing)."""
+
+import json
+
+from repro.harness.perf import check_kernels, run_app_benchmarks, write_perf_json
+
+
+def test_check_kernels_passes():
+    assert check_kernels(cases=10) == 10
+
+
+def test_write_perf_json_is_stable(tmp_path):
+    path = tmp_path / "perf.json"
+    report = {"b": 1, "a": {"z": 2.5, "y": 3}}
+    write_perf_json(report, str(path))
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == report
+    # keys sorted -> diff-friendly when committed
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_app_benchmark_runs_one_app():
+    out = run_app_benchmarks(apps=["fft3d"], scale="test")
+    assert set(out) == {"fft3d"}
+    assert out["fft3d"] >= 0.0

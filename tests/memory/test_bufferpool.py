@@ -1,0 +1,99 @@
+"""Unit tests for the pooled page buffers."""
+
+import numpy as np
+
+from repro.memory import BufferPool, PageTable
+
+
+class TestBufferPool:
+    def test_take_returns_fresh_buffer(self):
+        pool = BufferPool(64)
+        buf = pool.take()
+        assert buf.dtype == np.uint8 and buf.shape == (64,)
+        assert pool.allocations == 1 and pool.reuses == 0
+
+    def test_give_then_take_reuses(self):
+        pool = BufferPool(64)
+        buf = pool.take()
+        pool.give(buf)
+        assert pool.free_count == 1
+        again = pool.take()
+        assert again is buf
+        assert pool.reuses == 1
+
+    def test_take_copy_copies_contents(self):
+        pool = BufferPool(64)
+        src = np.arange(64, dtype=np.uint8)
+        buf = pool.take_copy(src)
+        assert np.array_equal(buf, src)
+        src[0] = 99
+        assert buf[0] == 0
+
+    def test_recycled_buffer_contents_are_overwritten_on_take_copy(self):
+        pool = BufferPool(64)
+        buf = pool.take()
+        buf[:] = 0xAB
+        pool.give(buf)
+        out = pool.take_copy(np.zeros(64, dtype=np.uint8))
+        assert out is buf
+        assert not out.any()
+
+    def test_wrong_size_or_dtype_not_pooled(self):
+        pool = BufferPool(64)
+        pool.give(np.zeros(32, dtype=np.uint8))
+        pool.give(np.zeros(64, dtype=np.uint32))
+        assert pool.free_count == 0
+
+    def test_views_not_pooled(self):
+        pool = BufferPool(64)
+        backing = np.zeros(128, dtype=np.uint8)
+        pool.give(backing[:64])  # a view could alias live data
+        assert pool.free_count == 0
+
+    def test_free_list_is_bounded(self):
+        pool = BufferPool(8, max_free=2)
+        bufs = [pool.take() for _ in range(4)]
+        for b in bufs:
+            pool.give(b)
+        assert pool.free_count == 2
+
+
+class TestPageTablePooling:
+    def make_table(self, pool):
+        return PageTable(0, 4, [0, 1, 0, 1], pool=pool)
+
+    def test_drop_twin_recycles_buffer(self):
+        pool = BufferPool(16)
+        pt = self.make_table(pool)
+        pt.make_twin(1, np.arange(16, dtype=np.uint8))
+        assert pool.allocations == 1
+        pt.drop_twin(1)
+        assert pool.free_count == 1
+        # next twin on any page reuses the retired buffer
+        pt.make_twin(3, np.zeros(16, dtype=np.uint8))
+        assert pool.reuses == 1 and pool.allocations == 1
+
+    def test_invalidate_recycles_twin(self):
+        from repro.memory import PageState
+
+        pool = BufferPool(16)
+        pt = self.make_table(pool)
+        pt.entry(1).state = PageState.DIRTY
+        pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+        pt.invalidate(1)
+        assert pt.entry(1).twin is None
+        assert pool.free_count == 1
+
+    def test_pooled_twin_still_copies_contents(self):
+        pool = BufferPool(16)
+        pt = self.make_table(pool)
+        buf = np.arange(16, dtype=np.uint8)
+        twin = pt.make_twin(1, buf)
+        buf[0] = 99
+        assert twin[0] == 0
+
+    def test_unpooled_table_unaffected(self):
+        pt = PageTable(0, 4, [0, 1, 0, 1])
+        pt.make_twin(1, np.zeros(16, dtype=np.uint8))
+        pt.drop_twin(1)
+        assert pt.entry(1).twin is None

@@ -229,6 +229,10 @@ class _Linter(ast.NodeVisitor):
                 "deterministic engine; use the simulator's virtual time",
             )
         elif parts[0] == "random":
+            # random.Random(seed) is the recommended seeded constructor;
+            # only flag it when called without an explicit seed
+            if dotted == "random.Random" and node.args:
+                return
             self._add(
                 node, "DET001",
                 f"{dotted}() uses the unseeded global random state; "

@@ -9,6 +9,8 @@
 * :mod:`repro.core.recovery` (+ :mod:`repro.core.ml_recovery`,
   :mod:`repro.core.ccl_recovery`) -- replay engines and the two-phase
   recovery experiment driver with bit-exact state verification.
+* :mod:`repro.core.chaos` -- the seeded fault-injection / arbitrary-
+  instant-crash property suite (see docs/robustness.md).
 """
 
 from .logging_base import (
@@ -39,9 +41,11 @@ from .recovery import (
     RecoveryResult,
     ReplayNode,
     compare_state,
+    replay_failed_node,
     run_multi_recovery_experiment,
     run_recovery_experiment,
 )
+from .chaos import ChaosCase, ChaosReport, run_chaos_run, run_chaos_suite
 from .ml_recovery import MlReplayNode
 from .ccl_recovery import CclReplayNode
 
@@ -75,8 +79,13 @@ __all__ = [
     "RecoveryResult",
     "MultiRecoveryResult",
     "compare_state",
+    "replay_failed_node",
     "run_recovery_experiment",
     "run_multi_recovery_experiment",
+    "ChaosCase",
+    "ChaosReport",
+    "run_chaos_run",
+    "run_chaos_suite",
     "MlReplayNode",
     "CclReplayNode",
 ]

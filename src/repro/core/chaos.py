@@ -1,0 +1,311 @@
+"""Seeded chaos suite: random faults x random crash instants, bit-exact recovery.
+
+Each chaos *run* executes one application under a seeded
+:class:`~repro.sim.faults.FaultPlan` (drops, duplicates, delays,
+reordering) with a :class:`~repro.core.failure.CrashProbe` in
+``capture_all`` mode, so one faulted phase-A execution yields a snapshot
+at every seal.  The driver then samples several *crash instants* --
+arbitrary virtual times, deliberately not aligned with seals -- and for
+each one:
+
+1. truncates the victim's log to what a crash at that instant would
+   leave on disk (:meth:`~repro.core.stablelog.StableLog.durable_view`);
+2. computes the highest recoverable seal ``k*``: the victim cannot be
+   reconstructed past the last seal it completed, nor past the first
+   log bundle with a lost record;
+3. replays the victim against the truncated log
+   (:func:`~repro.core.recovery.replay_failed_node`) and verifies the
+   recovered memory image, page states, versions, and vector clock
+   bit-for-bit against the phase-A snapshot at ``k*``.
+
+``kill`` cases additionally crash the victim **live** mid-run: its
+processes die, its queued NIC frames and in-flight deliveries are
+discarded, the survivors stall, and recovery is verified from the
+killed run's own durable log.
+
+Everything is derived from one integer seed, so a failing case is
+reproducible from the one-line command the report prints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..config import ClusterConfig
+from ..dsm.system import DsmSystem
+from ..errors import RecoveryError
+from ..sim.faults import FaultPlan
+from ..sim.trace import Tracer
+from .failure import CrashProbe
+from .logging_base import make_hooks_factory
+from .recovery import compare_state, replay_failed_node
+
+__all__ = ["ChaosCase", "ChaosReport", "run_chaos_run", "run_chaos_suite"]
+
+#: Default fault rates: high enough that every run sees drops,
+#: duplicates, delays, and reordering, low enough that the transport's
+#: bounded retry (p**(max_retries+1) residual loss) never gives up on a
+#: live peer.
+DEFAULT_RATES = {"drop": 0.08, "dup": 0.08, "delay": 0.12, "reorder": 0.12}
+
+
+@dataclass
+class ChaosCase:
+    """One (app, protocol, fault schedule, crash instant) verification."""
+
+    app: str
+    protocol: str
+    seed: int
+    crash_node: int
+    crash_time: float
+    stop_at: int
+    live_kill: bool
+    ok: bool
+    detail: str = ""
+    mismatches: List[str] = field(default_factory=list)
+    #: Extra CLI flags (scale, cluster size) needed to reproduce.
+    repro_extra: str = ""
+
+    def repro_command(self) -> str:
+        """One-line command reproducing exactly this case."""
+        cmd = (
+            f"python -m repro chaos --apps {self.app} "
+            f"--protocols {self.protocol} --seed {self.seed} "
+            f"--crash-time {self.crash_time!r} --crash-node {self.crash_node}"
+        )
+        if self.live_kill:
+            cmd += " --live-kill"
+        if self.repro_extra:
+            cmd += f" {self.repro_extra}"
+        return cmd
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos suite."""
+
+    cases: List[ChaosCase] = field(default_factory=list)
+    #: Injected-fault totals across all runs.
+    fault_totals: Dict[str, int] = field(default_factory=dict)
+    #: Transport totals (retransmits, dups dropped, ...) across all runs.
+    transport_totals: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failures(self) -> List[ChaosCase]:
+        return [c for c in self.cases if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and not self.failures
+
+    def merge_totals(self, plan: FaultPlan, transport: Any) -> None:
+        for k, v in plan.summary().items():
+            self.fault_totals[k] = self.fault_totals.get(k, 0) + v
+        if transport is not None and hasattr(transport, "summary"):
+            for k, v in transport.summary().items():
+                self.transport_totals[k] = self.transport_totals.get(k, 0) + v
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: {len(self.cases)} cases, "
+            f"{len(self.cases) - len(self.failures)} passed, "
+            f"{len(self.failures)} failed",
+            f"  faults injected: {self.fault_totals}",
+            f"  transport: {self.transport_totals}",
+        ]
+        for c in self.failures:
+            lines.append(
+                f"  FAIL seed={c.seed} plan=({c.app},{c.protocol}) "
+                f"crash=({c.crash_node}@{c.crash_time:.6g}) "
+                f"stop_at={c.stop_at}: {c.detail or c.mismatches}"
+            )
+            lines.append(f"    {c.repro_command()}")
+        return "\n".join(lines)
+
+
+def _case_rng(seed: int) -> random.Random:
+    # decorrelated from the FaultPlan's own stream (same seed feeds both)
+    return random.Random(seed ^ 0x9E3779B9)
+
+
+def run_chaos_run(
+    app_factory: Callable[[], Any],
+    config: ClusterConfig,
+    protocol: str,
+    seed: int,
+    crash_points: int = 5,
+    crash_node: Optional[int] = None,
+    crash_times: Optional[List[float]] = None,
+    live_kill: bool = False,
+    rates: Optional[Dict[str, float]] = None,
+    sanitize: bool = False,
+    app_name: Optional[str] = None,
+    repro_extra: str = "",
+) -> Tuple[List[ChaosCase], FaultPlan, Any]:
+    """One faulted phase-A execution plus its crash-instant recoveries.
+
+    Returns ``(cases, fault_plan, transport)``.  ``crash_times`` (virtual
+    seconds) overrides the seeded sampling -- the repro path for a
+    reported failure.  With ``live_kill`` the victim is killed at the
+    (single) crash time instead of being probed past it.
+    """
+    rng = _case_rng(seed)
+    rates = dict(rates or DEFAULT_RATES)
+    app = app_factory()
+    if app_name is None:
+        app_name = str(getattr(app, "name", type(app).__name__)).lower()
+    victim = (
+        crash_node if crash_node is not None else rng.randrange(config.num_nodes)
+    )
+
+    def build(plan: FaultPlan, tracer: Optional[Tracer] = None) -> DsmSystem:
+        return DsmSystem(
+            app_factory(),
+            config,
+            make_hooks_factory(protocol),
+            tracer=tracer,
+            fault_plan=plan,
+        )
+
+    # ---- pilot duration: a kill time must be sampled inside the run --
+    kill_time: Optional[float] = None
+    if live_kill:
+        pilot_plan = FaultPlan.uniform(seed, **rates)
+        pilot = build(pilot_plan).run()
+        kill_time = rng.uniform(0.15, 0.85) * pilot.total_time
+        if crash_times:
+            kill_time = crash_times[0]
+
+    plan = FaultPlan.uniform(seed, **rates)
+    if kill_time is not None:
+        plan.kill(victim, kill_time)
+    tracer = Tracer(enabled=True) if sanitize else None
+    system_a = DsmSystem(
+        app, config, make_hooks_factory(protocol), tracer=tracer, fault_plan=plan
+    )
+    probe = CrashProbe(victim, capture_all=True)
+    system_a.add_probe(probe)
+    result_a = system_a.run()
+
+    cases: List[ChaosCase] = []
+
+    def fail(t: float, stop_at: int, detail: str, mismatches=None) -> ChaosCase:
+        return ChaosCase(
+            app_name, protocol, seed, victim, t, stop_at,
+            live_kill, False, detail, list(mismatches or []),
+            repro_extra=repro_extra,
+        )
+
+    # the application result itself proves reliable delivery: faults
+    # must not change what the program computes.  A live-killed run may
+    # still complete when the kill lands after the victim's last
+    # contribution (survivors no longer need it) -- then the results
+    # must be correct; otherwise the survivors must have stalled.
+    if result_a.completed:
+        verify = getattr(app, "verify", None)
+        if verify is not None and not verify(system_a):
+            cases.append(fail(kill_time or 0.0, 0,
+                              "faulted run computed wrong results"))
+            return cases, plan, system_a.transport
+    elif not live_kill:
+        cases.append(fail(0.0, 0, "faulted run did not complete"))
+        return cases, plan, system_a.transport
+
+    if sanitize and tracer is not None:
+        from ..analysis import check_trace
+
+        report = check_trace(tracer)
+        if not report.ok:
+            cases.append(
+                fail(0.0, 0, f"sanitizer: {report.violations[0]}")
+            )
+            return cases, plan, system_a.transport
+
+    # ---- sample crash instants and verify recovery at each -----------
+    log = getattr(system_a.nodes[victim].hooks, "log")
+    horizon = kill_time if kill_time is not None else result_a.total_time
+    if crash_times:
+        instants = list(crash_times)
+    elif live_kill:
+        instants = [kill_time or 0.0]
+    else:
+        instants = sorted(rng.uniform(0.0, horizon) for _ in range(crash_points))
+
+    for t in instants:
+        seals_done = sum(1 for s in probe.snapshots.values() if s.time <= t)
+        lost = log.first_lost_interval(t)
+        stop_at = seals_done if lost is None else min(seals_done, lost)
+        if stop_at < 1:
+            # nothing recoverable was sealed: recovery degenerates to a
+            # restart from the initial checkpoint, trivially bit-exact
+            cases.append(
+                ChaosCase(app_name, protocol, seed, victim, t, 0,
+                          live_kill, True, "restart-from-checkpoint",
+                          repro_extra=repro_extra)
+            )
+            continue
+        try:
+            replay, _rt = replay_failed_node(
+                app, config, protocol, system_a, victim,
+                log.durable_view(t), stop_at,
+            )
+        except RecoveryError as exc:
+            cases.append(fail(t, stop_at, f"replay error: {exc}"))
+            continue
+        mismatches = compare_state(
+            replay, probe.snapshots[stop_at], config.page_size
+        )
+        cases.append(
+            ChaosCase(
+                app_name, protocol, seed, victim, t, stop_at,
+                live_kill, not mismatches,
+                "" if not mismatches else "state mismatch",
+                mismatches,
+                repro_extra=repro_extra,
+            )
+        )
+    return cases, plan, system_a.transport
+
+
+def run_chaos_suite(
+    app_factories: Dict[str, Callable[[], Any]],
+    config: ClusterConfig,
+    protocols: Tuple[str, ...] = ("ccl", "ml"),
+    seeds: int = 10,
+    first_seed: int = 0,
+    crash_points: int = 5,
+    kill_every: int = 4,
+    rates: Optional[Dict[str, float]] = None,
+    sanitize: bool = False,
+    fail_fast: bool = False,
+    repro_extra: str = "",
+) -> ChaosReport:
+    """The full property suite: apps x protocols x seeds x crash instants.
+
+    Every ``kill_every``-th seed of each (app, protocol) pair becomes a
+    live-kill case (victim processes die mid-run, in-flight frames
+    discarded); the rest are probe-based and amortise ``crash_points``
+    crash instants over one faulted execution.
+    """
+    report = ChaosReport()
+    for app_name, factory in sorted(app_factories.items()):
+        for protocol in protocols:
+            for i in range(seeds):
+                seed = first_seed + i
+                live = kill_every > 0 and i % kill_every == kill_every - 1
+                cases, plan, transport = run_chaos_run(
+                    factory, config, protocol, seed,
+                    crash_points=crash_points,
+                    live_kill=live,
+                    rates=rates,
+                    sanitize=sanitize,
+                    app_name=app_name,
+                    repro_extra=repro_extra,
+                )
+                report.cases.extend(cases)
+                report.merge_totals(plan, transport)
+                if fail_fast and report.failures:
+                    return report
+    return report

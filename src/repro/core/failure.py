@@ -40,6 +40,18 @@ class FailureSpec:
         if self.node < 0 or self.at_seal < 1:
             raise ValueError(f"bad failure spec: {self}")
 
+    def validate(self, num_nodes: int) -> None:
+        """Fail fast on a victim outside the cluster.
+
+        Without this check a bad ``node`` only surfaces after a full
+        phase-A run, as a generic "never reached seal" recovery error.
+        """
+        if not (0 <= self.node < num_nodes):
+            raise ValueError(
+                f"failure spec names node {self.node}, but the cluster has "
+                f"only nodes 0..{num_nodes - 1}"
+            )
+
 
 class FailureSnapshot:
     """The victim's externally-visible state at the crash point."""
@@ -65,20 +77,63 @@ class CrashProbe:
     ``at_seal=None`` every seal overwrites the snapshot, so after the
     run it reflects the victim's *last* interval -- the default failure
     point of the recovery experiments (a crash near the end of the run,
-    where recovery has the most to replay).
+    where recovery has the most to replay).  ``capture_all=True``
+    additionally retains every seal's snapshot in :attr:`snapshots`,
+    which lets one phase-A run serve many crash instants (the chaos
+    suite's amortisation).
+
+    Observing is side-effect-free.  The paper's crash-point seal -- the
+    volatile tail of the crash interval is considered flushed -- is
+    applied exactly once by :meth:`finalize`, after the run, and only
+    to the records that were volatile at the chosen crash point.
+    Earlier revisions force-sealed inside the probe, which with
+    ``at_seal=None`` zero-cost-persisted *every* interval's tail and
+    biased the victim's flush/log-size statistics.
     """
 
-    def __init__(self, node: int, at_seal: Optional[int] = None):
+    def __init__(
+        self,
+        node: int,
+        at_seal: Optional[int] = None,
+        capture_all: bool = False,
+    ):
         self.node = node
         self.at_seal = at_seal
+        self.capture_all = capture_all
         self.snapshot: Optional[FailureSnapshot] = None
+        #: seal_count -> snapshot at that seal (``capture_all`` mode).
+        self.snapshots: Dict[int, FailureSnapshot] = {}
+        self._log = None
+        self._volatile_ids: Tuple[int, ...] = ()
+        self._finalized = False
 
     def __call__(self, node: HlrcNode, seal_count: int) -> None:
         if node.id != self.node:
             return
+        if self.capture_all:
+            self.snapshots[seal_count] = FailureSnapshot(node, seal_count)
         if self.at_seal is not None and seal_count != self.at_seal:
             return
-        log = getattr(node.hooks, "log", None)
-        if log is not None:
-            log.force_seal()
         self.snapshot = FailureSnapshot(node, seal_count)
+        self._log = getattr(node.hooks, "log", None)
+        if self._log is not None:
+            # remember the crash interval's volatile tail by identity;
+            # finalize() seals whatever of it a later natural flush has
+            # not already persisted
+            self._volatile_ids = tuple(id(r) for r in self._log._volatile)
+
+    def finalize(self) -> None:
+        """Apply the crash point's seal effect, once, after phase A.
+
+        Records appended *after* the crash point stay volatile -- a
+        crashed node never wrote them -- and records the tail shared
+        with a completed natural flush are already persistent, in which
+        case this is a no-op.
+        """
+        if self._finalized or self._log is None or self.snapshot is None:
+            return
+        self._finalized = True
+        ids = set(self._volatile_ids)
+        chosen = [r for r in self._log._volatile if id(r) in ids]
+        if chosen:
+            self._log.seal_records(chosen)

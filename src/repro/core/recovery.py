@@ -64,6 +64,7 @@ __all__ = [
     "ReplayNode",
     "RecoveryResult",
     "MultiRecoveryResult",
+    "replay_failed_node",
     "run_recovery_experiment",
     "run_multi_recovery_experiment",
     "compare_state",
@@ -415,53 +416,30 @@ def compare_state(
     return mismatches
 
 
-def run_recovery_experiment(
+def replay_failed_node(
     app,
-    config: Optional[ClusterConfig] = None,
-    protocol: str = "ccl",
-    failed_node: int = 0,
-    at_seal: Optional[int] = None,
-    checkpoint_every: Optional[int] = None,
-    checkpoint_mode: str = "seals",
-    verify: bool = True,
-) -> RecoveryResult:
-    """Run phase A (failure-free + probe) and phase B (timed replay).
+    config: ClusterConfig,
+    protocol: str,
+    system_a: DsmSystem,
+    failed_node: int,
+    plog: StableLog,
+    stop_at: int,
+    free_until: int = 0,
+    checkpoint: Optional[CheckpointSnapshot] = None,
+) -> Tuple[ReplayNode, float]:
+    """Phase B: replay one victim in a fresh simulation, to ``stop_at`` seals.
 
-    ``at_seal=None`` crashes the victim at its final interval (the
-    paper's setting: maximum work to recover).  ``checkpoint_every``
-    enables periodic checkpoints -- independent per-node
-    (``checkpoint_mode="seals"``, the paper's default) or coordinated at
-    barrier episodes (``"barriers"``, the paper's noted extension);
-    replay then starts timed execution at the latest checkpoint before
-    the crash.
+    ``plog`` is the log the replay consumes -- the victim's full
+    persistent log in the classic seal-aligned experiments, or a
+    :meth:`~repro.core.stablelog.StableLog.durable_view` truncated at an
+    arbitrary crash instant in the chaos suite.  Returns the replay node
+    (for state verification) and the replay's virtual duration.
     """
     from .ml_recovery import MlReplayNode
     from .ccl_recovery import CclReplayNode
 
-    if protocol not in ("ml", "ccl"):
-        raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
-    config = config or ClusterConfig.ultra5()
-
-    # ---------------- phase A: failure-free run with probe -------------
-    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
-    probe = CrashProbe(failed_node, at_seal)
-    system_a.add_probe(probe)
-    checkpointers: Dict[int, Checkpointer] = {}
-    if checkpoint_every:
-        for node in system_a.nodes:
-            checkpointers[node.id] = Checkpointer(
-                checkpoint_every, on=checkpoint_mode
-            )
-            node.checkpointer = checkpointers[node.id]
-    result_a = system_a.run()
-    snapshot = probe.snapshot
-    if snapshot is None:
-        raise RecoveryError(
-            f"node {failed_node} never reached seal {at_seal}; cannot crash there"
-        )
-    at_seal = snapshot.seal_count
-
-    # ---------------- phase B: timed replay ----------------------------
+    if stop_at < 1:
+        raise RecoveryError(f"replay needs at least one seal, got {stop_at}")
     sim_b = Simulator()
     net_b = Network(sim_b, config.network, config.num_nodes)
     disks_b = [
@@ -473,14 +451,6 @@ def run_recovery_experiment(
         for node in system_a.nodes
         if node.id != failed_node
     }
-    plog = getattr(system_a.nodes[failed_node].hooks, "log")
-
-    free_until = 0
-    ckpt_snapshot: Optional[CheckpointSnapshot] = None
-    if checkpoint_every and failed_node in checkpointers:
-        ckpt_snapshot = checkpointers[failed_node].latest_before(at_seal - 1)
-        if ckpt_snapshot is not None:
-            free_until = ckpt_snapshot.seal
 
     node_cls = MlReplayNode if protocol == "ml" else CclReplayNode
     replay = node_cls(
@@ -492,10 +462,10 @@ def run_recovery_experiment(
         system_a.homes,
         failed_node,
         plog,
-        at_seal,
+        stop_at,
         responders,
         free_until_seal=free_until,
-        checkpoint=ckpt_snapshot,
+        checkpoint=checkpoint,
     )
 
     responder_procs = [
@@ -520,7 +490,80 @@ def run_recovery_experiment(
     sim_b.run()
     if not replay.done.triggered:
         raise RecoveryError("replay never reached the crash point")
-    recovery_time = float(replay.done.value)
+    return replay, float(replay.done.value)
+
+
+def run_recovery_experiment(
+    app,
+    config: Optional[ClusterConfig] = None,
+    protocol: str = "ccl",
+    failed_node: int = 0,
+    at_seal: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_mode: str = "seals",
+    verify: bool = True,
+) -> RecoveryResult:
+    """Run phase A (failure-free + probe) and phase B (timed replay).
+
+    ``at_seal=None`` crashes the victim at its final interval (the
+    paper's setting: maximum work to recover).  ``checkpoint_every``
+    enables periodic checkpoints -- independent per-node
+    (``checkpoint_mode="seals"``, the paper's default) or coordinated at
+    barrier episodes (``"barriers"``, the paper's noted extension);
+    replay then starts timed execution at the latest checkpoint before
+    the crash.
+    """
+    if protocol not in ("ml", "ccl"):
+        raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
+    config = config or ClusterConfig.ultra5()
+    if not (0 <= failed_node < config.num_nodes):
+        # fail fast: without this check a bad victim rank only surfaces
+        # after a full phase-A run, as "never reached seal"
+        raise RecoveryError(
+            f"failed_node {failed_node} is not a valid rank; the cluster "
+            f"has nodes 0..{config.num_nodes - 1}"
+        )
+
+    # ---------------- phase A: failure-free run with probe -------------
+    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
+    probe = CrashProbe(failed_node, at_seal)
+    system_a.add_probe(probe)
+    checkpointers: Dict[int, Checkpointer] = {}
+    if checkpoint_every:
+        for node in system_a.nodes:
+            checkpointers[node.id] = Checkpointer(
+                checkpoint_every, on=checkpoint_mode
+            )
+            node.checkpointer = checkpointers[node.id]
+    result_a = system_a.run()
+    probe.finalize()
+    snapshot = probe.snapshot
+    if snapshot is None:
+        raise RecoveryError(
+            f"node {failed_node} never reached seal {at_seal}; cannot crash there"
+        )
+    at_seal = snapshot.seal_count
+
+    # ---------------- phase B: timed replay ----------------------------
+    plog = getattr(system_a.nodes[failed_node].hooks, "log")
+    free_until = 0
+    ckpt_snapshot: Optional[CheckpointSnapshot] = None
+    if checkpoint_every and failed_node in checkpointers:
+        ckpt_snapshot = checkpointers[failed_node].latest_before(at_seal - 1)
+        if ckpt_snapshot is not None:
+            free_until = ckpt_snapshot.seal
+
+    replay, recovery_time = replay_failed_node(
+        app,
+        config,
+        protocol,
+        system_a,
+        failed_node,
+        plog,
+        at_seal,
+        free_until=free_until,
+        checkpoint=ckpt_snapshot,
+    )
 
     mismatches: List[str] = []
     if verify:
@@ -598,6 +641,12 @@ def run_multi_recovery_experiment(
     if len(set(failed_nodes)) != len(failed_nodes) or not failed_nodes:
         raise RecoveryError(f"bad failed-node set: {failed_nodes}")
     config = config or ClusterConfig.ultra5()
+    for f in failed_nodes:
+        if not (0 <= f < config.num_nodes):
+            raise RecoveryError(
+                f"failed node {f} is not a valid rank; the cluster has "
+                f"nodes 0..{config.num_nodes - 1}"
+            )
     if len(failed_nodes) >= config.num_nodes:
         raise RecoveryError("at least one node must survive")
 
@@ -609,6 +658,7 @@ def run_multi_recovery_experiment(
     result_a = system_a.run()
     snapshots: Dict[int, FailureSnapshot] = {}
     for f, probe in probes.items():
+        probe.finalize()
         if probe.snapshot is None:
             raise RecoveryError(f"node {f} never sealed an interval")
         snapshots[f] = probe.snapshot

@@ -43,6 +43,11 @@ class StableLog:
         self._by_interval: dict[int, List[LogRecord]] = {}
         #: vt_index -> own-diff records, for O(1) writer-side diff lookups.
         self._own_by_vtidx: dict[int, List[OwnDiffLogRecord]] = {}
+        #: Durability marks: ``(persistent_count, completion_time)`` per
+        #: finished flush, in completion order (the disk is FIFO).  A
+        #: crash at time T leaves exactly the longest prefix whose mark
+        #: time is <= T on disk -- a flush still in flight at T is lost.
+        self._flush_marks: List[Tuple[int, float]] = []
         self.num_flushes = 0
         self.bytes_flushed = 0
         self.volatile_peak_bytes = 0
@@ -116,7 +121,29 @@ class StableLog:
         """
         n = len(self._volatile)
         self._retire(self._volatile)
+        self._flush_marks.append((len(self._persistent), self.disk.sim.now))
         return n
+
+    def seal_records(self, records: List[LogRecord]) -> int:
+        """Persist specific still-volatile records with no disk cost.
+
+        The crash-point variant of :meth:`force_seal` used by the
+        failure injector: it seals exactly the records that were
+        volatile *at the crash point* (necessarily a prefix of the
+        buffer -- flushes drain it whole), leaving records appended
+        afterwards volatile, so a deferred seal reproduces the state a
+        seal at the crash instant would have left.  Returns the number
+        of records moved.
+        """
+        ids = {id(r) for r in records}
+        sealed = [r for r in self._volatile if id(r) in ids]
+        if not sealed:
+            return 0
+        remaining = [r for r in self._volatile if id(r) not in ids]
+        self._retire(sealed)
+        self._volatile = remaining
+        self._flush_marks.append((len(self._persistent), self.disk.sim.now))
+        return len(sealed)
 
     def _retire(self, records: List[LogRecord]) -> None:
         self._persistent.extend(records)
@@ -126,14 +153,66 @@ class StableLog:
                 self._own_by_vtidx.setdefault(r.vt_index, []).append(r)
         if records is self._volatile:
             self._volatile = []
-        else:  # pragma: no cover - defensive
-            self._volatile.clear()
+        else:
+            records.clear()
 
     def _begin_flush(self, nbytes: int) -> Signal:
         self.num_flushes += 1
         self.bytes_flushed += nbytes
         self._retire(self._volatile)
-        return self.disk.write(nbytes)
+        sig = self.disk.write(nbytes)
+        count = len(self._persistent)
+        # the prefix becomes durable when the disk write completes; a
+        # crash before that instant loses the whole flush
+        sig.add_callback(
+            lambda _v, c=count: self._flush_marks.append((c, self.disk.sim.now))
+        )
+        return sig
+
+    # ------------------------------------------------------------------
+    # durability queries (the arbitrary-instant crash model)
+    # ------------------------------------------------------------------
+    def durable_count(self, at_time: float) -> int:
+        """Records guaranteed on disk at virtual time ``at_time``.
+
+        The durable set is always a prefix of append order: flushes
+        retire the whole buffer FIFO and the disk serves FIFO, so marks
+        are monotone in both fields.
+        """
+        count = 0
+        for c, t in self._flush_marks:
+            if t <= at_time and c > count:
+                # not simply the last qualifying mark: a zero-cost seal
+                # can certify records while an earlier flush is still in
+                # flight, so counts need not be monotone in mark order
+                count = c
+        return count
+
+    def first_lost_interval(self, at_time: float) -> Optional[int]:
+        """Interval tag of the earliest record lost by a crash at ``at_time``.
+
+        ``None`` means every appended record was durable.  Interval tags
+        are appended monotonically (hooks tag records with the node's
+        current ``interval_index``), so every bundle *below* the
+        returned tag is fully durable -- that is the highest seal count
+        recovery can replay to.
+        """
+        rest = self._persistent[self.durable_count(at_time):] + self._volatile
+        if not rest:
+            return None
+        return min(r.interval for r in rest)
+
+    def durable_view(self, at_time: float) -> "StableLog":
+        """A log holding exactly what a crash at ``at_time`` leaves on disk.
+
+        The view shares the disk (recovery charges its reads there) but
+        owns its own record lists; flush statistics start at zero, as a
+        recovering node would observe.
+        """
+        view = StableLog(self.disk)
+        view._retire(list(self._persistent[: self.durable_count(at_time)]))
+        view._flush_marks.append((len(view._persistent), at_time))
+        return view
 
     # ------------------------------------------------------------------
     # recovery queries (operate on the persistent log)

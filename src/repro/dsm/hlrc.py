@@ -95,7 +95,9 @@ class HlrcNode:
         self.id = node_id
         self.cfg = system.config
         self.sim = system.sim
-        self.net = system.network
+        # the transport is the reliable layer when fault injection is
+        # active, and the bare network otherwise (identical surface)
+        self.net = getattr(system, "transport", None) or system.network
         self.disk = system.disks[node_id]
         self.memory = LocalMemory(system.space)
         self.pagetable = PageTable(

@@ -19,6 +19,7 @@ from .interval import IntervalRecord, VectorClock
 
 __all__ = [
     "MSG_FIXED_BYTES",
+    "RelAck",
     "LockRequest",
     "LockGrant",
     "LockRelease",
@@ -43,6 +44,28 @@ MSG_FIXED_BYTES = 16
 def records_nbytes(records: List[IntervalRecord]) -> int:
     """Encoded size of a record list."""
     return sum(r.nbytes for r in records)
+
+
+@dataclass(slots=True)
+class RelAck:
+    """Transport-level acknowledgement of one sequenced frame.
+
+    Names the link and sequence number of the frame being acked; sent
+    by the reliable transport (see :mod:`repro.dsm.reliable`), never by
+    protocol code, and itself unsequenced.
+    """
+
+    NBYTES = 12
+
+    #: Original sender (the ack travels back to it).
+    src: int
+    #: Original receiver (the acker).
+    dst: int
+    seq: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.NBYTES
 
 
 @dataclass(slots=True)

@@ -17,6 +17,7 @@ from ..errors import ApplicationError, ConfigError
 from ..sim.disk import Disk
 from ..sim.engine import Simulator
 from ..sim.events import AllOf
+from ..sim.faults import FaultPlan
 from ..sim.network import Network
 from ..sim.stats import NodeStats
 from ..sim.trace import Tracer
@@ -86,6 +87,7 @@ class DsmSystem:
         protocol_name: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         coherence: str = "hlrc",
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if coherence not in ("hlrc", "lrc", "hlrc-migrate"):
             raise ConfigError(f"unknown coherence protocol {coherence!r}")
@@ -96,7 +98,23 @@ class DsmSystem:
         # explicit None-check: an empty Tracer is falsy (it has __len__)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.sim = Simulator()
-        self.network = Network(self.sim, self.config.network, self.config.num_nodes)
+        self.fault_plan = fault_plan
+        for victim in (fault_plan.kills if fault_plan is not None else {}):
+            if not (0 <= victim < self.config.num_nodes):
+                raise ConfigError(f"fault-plan kill target {victim} out of range")
+        self.network = Network(
+            self.sim, self.config.network, self.config.num_nodes,
+            fault_plan=fault_plan,
+        )
+        # An active plan interposes the reliable transport between the
+        # protocol and the wire; otherwise the nodes talk to the bare
+        # network and every existing stat stays byte-identical.
+        if fault_plan is not None and fault_plan.active:
+            from .reliable import ReliableTransport
+
+            self.transport: Any = ReliableTransport(self.network, self.sim)
+        else:
+            self.transport = self.network
         self.disks = [
             Disk(self.sim, self.config.disk, f"disk{i}")
             for i in range(self.config.num_nodes)
@@ -176,22 +194,32 @@ class DsmSystem:
 
         ctl = self.sim.spawn(controller(), name="controller")
 
+        kills: Dict[int, float] = {}
+        if self.fault_plan is not None:
+            kills.update(self.fault_plan.kills)
         if kill_node is not None:
             if not (0 <= kill_node < len(self.nodes)):
                 raise ConfigError(f"kill_node {kill_node} out of range")
+            kills[kill_node] = kill_at or 0.0
+            # with an active plan the network also stops delivering the
+            # victim's in-flight frames; the bare network keeps the
+            # pre-fault-injection behaviour (processes die, frames land)
+            if self.transport is not self.network:
+                self.network.fault_plan.kills.setdefault(kill_node, kill_at or 0.0)
+        for victim, at_time in sorted(kills.items()):
 
-            def do_kill() -> None:
-                mains[kill_node].kill()
-                servers[kill_node].kill()
+            def do_kill(v: int = victim) -> None:
+                mains[v].kill()
+                servers[v].kill()
 
-            self.sim.schedule(kill_at or 0.0, do_kill)
+            self.sim.schedule(at_time, do_kill)
 
         try:
             total = self.sim.run()
         except Exception as exc:
             from ..errors import DeadlockError
 
-            if isinstance(exc, DeadlockError) and kill_node is not None:
+            if isinstance(exc, DeadlockError) and kills:
                 completed = False
                 blocked = list(exc.blocked)
                 total = self.sim.now

@@ -10,6 +10,7 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro ablation [--which disk|pagesize] [--jobs 4]
     python -m repro perf   [--out BENCH_perf.json]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
+    python -m repro chaos  [--seeds 13] [--crash-points 5] [--seed N ...]
 
 Each command prints the rendered table/figure; ``--csv PREFIX`` also
 writes the underlying rows to ``PREFIX_<name>.csv``.  ``analyze`` runs
@@ -45,9 +46,10 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument(
         "command",
         choices=["table1", "table2", "fig4", "fig5", "breakdown", "report",
-                 "analyze", "ablation", "perf", "all"],
+                 "analyze", "ablation", "perf", "chaos", "all"],
         help="which artefact to regenerate ('analyze' runs the coherence "
-             "sanitizer, 'perf' the microbenchmark suite)",
+             "sanitizer, 'perf' the microbenchmark suite, 'chaos' the "
+             "seeded fault-injection/recovery property suite)",
     )
     p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
                    help="analyze: a saved JSONL trace to check (omit to "
@@ -64,8 +66,9 @@ def _parser() -> argparse.ArgumentParser:
                    help="writer-aligned homes + no home-write logging "
                         "(reproduces the paper's log-size ratios; "
                         "see EXPERIMENTS.md)")
-    p.add_argument("--apps", nargs="*", default=list(PAPER_APPS),
-                   help="applications to run (default: the paper's four)")
+    p.add_argument("--apps", nargs="*", default=None,
+                   help="applications to run (default: the paper's four; "
+                        "chaos defaults to sor+water)")
     p.add_argument("--scale", default="bench",
                    choices=["test", "bench", "paper"],
                    help="dataset scale (see repro.harness.scales)")
@@ -82,13 +85,60 @@ def _parser() -> argparse.ArgumentParser:
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
+    chaos = p.add_argument_group(
+        "chaos", "seeded fault-injection / arbitrary-instant crash suite"
+    )
+    chaos.add_argument("--protocols", nargs="*", default=["ccl", "ml"],
+                       choices=["ccl", "ml"],
+                       help="logging protocols to exercise")
+    chaos.add_argument("--seeds", type=int, default=13,
+                       help="number of seeds per (app, protocol) pair")
+    chaos.add_argument("--first-seed", type=int, default=0,
+                       help="first seed of the sweep (nightly soak rotates "
+                            "this)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="run exactly one seed (the repro path a "
+                            "failure prints)")
+    chaos.add_argument("--crash-points", type=int, default=5,
+                       help="crash instants sampled per probed run")
+    chaos.add_argument("--crash-time", type=float, default=None,
+                       help="with --seed: pin the single crash instant "
+                            "(virtual seconds)")
+    chaos.add_argument("--crash-node", type=int, default=None,
+                       help="with --seed: pin the victim node")
+    chaos.add_argument("--live-kill", action="store_true",
+                       help="with --seed: kill the victim live mid-run")
+    chaos.add_argument("--kill-every", type=int, default=4,
+                       help="every Nth seed becomes a live-kill case "
+                            "(0 disables)")
+    chaos.add_argument("--drop", type=float, default=0.08,
+                       help="per-message drop probability")
+    chaos.add_argument("--dup", type=float, default=0.08,
+                       help="per-message duplication probability")
+    chaos.add_argument("--delay-rate", type=float, default=0.12,
+                       help="per-message extra-delay probability")
+    chaos.add_argument("--reorder", type=float, default=0.12,
+                       help="per-message reorder probability")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="also run the coherence sanitizer over each "
+                            "faulted trace")
+    chaos.add_argument("--fail-fast", action="store_true",
+                       help="stop at the first failing case")
     return p
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = _parser().parse_args(argv)
+    args.apps_given = args.apps is not None
+    if args.apps is None:
+        args.apps = list(PAPER_APPS)
     config = ClusterConfig.ultra5(num_nodes=args.nodes)
+
+    if args.command == "chaos":
+        from .chaoscmd import run_chaos
+
+        return run_chaos(args)
 
     if args.command == "analyze":
         from .analyze import run_analyze

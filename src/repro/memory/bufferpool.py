@@ -49,19 +49,40 @@ class BufferPool:
         return np.empty(self.nbytes, dtype=np.uint8)
 
     def take_copy(self, contents: np.ndarray) -> np.ndarray:
-        """A buffer pre-filled with a copy of ``contents``."""
+        """A buffer pre-filled with a copy of ``contents``.
+
+        ``contents`` must already be exactly one buffer's worth of
+        bytes: silently letting numpy broadcast a scalar or tile a
+        short array would hand out a twin that only partially matches
+        the page it claims to copy.
+        """
+        if contents.shape != (self.nbytes,):
+            raise ValueError(
+                f"take_copy needs shape ({self.nbytes},), got {contents.shape}"
+            )
         buf = self.take()
         np.copyto(buf, contents)
         return buf
 
     def give(self, buf: np.ndarray) -> None:
-        """Retire a buffer for reuse (silently drops foreign shapes/views)."""
+        """Retire a buffer for reuse (silently drops foreign shapes/views).
+
+        Read-only or externally-owned arrays are rejected loudly: a
+        pooled buffer is overwritten by the next :meth:`take_copy`, so
+        accepting a non-writeable array would defer the crash to an
+        unrelated call site, and accepting a view (``owndata`` false)
+        would let the pool scribble over memory someone else still
+        references.
+        """
+        if not buf.flags.writeable:
+            raise ValueError("cannot pool a read-only buffer")
+        if not buf.flags.owndata:
+            raise ValueError("cannot pool a view; the base array outlives it")
         if (
             len(self._free) < self.max_free
             and buf.dtype == np.uint8
             and buf.ndim == 1
             and buf.size == self.nbytes
-            and buf.base is None
         ):
             self._free.append(buf)
 

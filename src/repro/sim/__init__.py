@@ -12,6 +12,7 @@ from .engine import Simulator
 from .events import AllOf, Signal, Timeout
 from .process import SimProcess
 from .resources import FifoServer, Mailbox
+from .faults import FaultPlan, LinkFaults
 from .network import Network, NetMessage
 from .disk import Disk
 from .stats import Counter, NodeStats, TimeBreakdown
@@ -24,6 +25,8 @@ __all__ = [
     "SimProcess",
     "FifoServer",
     "Mailbox",
+    "FaultPlan",
+    "LinkFaults",
     "Network",
     "NetMessage",
     "Disk",

@@ -1,0 +1,213 @@
+"""Deterministic network fault injection.
+
+A :class:`FaultPlan` tells the :class:`~repro.sim.network.Network` how to
+misbehave: per-link / per-kind probabilities of dropping, duplicating,
+delaying, and reordering messages, plus *live kills* at arbitrary
+virtual times that discard the victim's queued NIC frames and every
+delivery still in flight to or from it.
+
+All randomness comes from one ``random.Random`` seeded at construction,
+and the plan is consulted in simulator event order, so a given
+``(seed, workload)`` pair always produces the same fault schedule --
+the property the chaos suite's one-line repro commands depend on.
+
+``FaultPlan.none()`` is inert: the network detects it and takes the
+exact fault-free code path, so every statistic of an unfaulted run stays
+byte-identical with or without a plan attached.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["LinkFaults", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Fault rates for one (link, kind) class of traffic.
+
+    ``delay_s`` scales both the plain-delay and the reorder hold-back;
+    a reorder is just a hold-back long enough (a few message times) to
+    let later traffic on the same link overtake the held frame.
+    """
+
+    #: Probability a frame is lost outright.
+    drop: float = 0.0
+    #: Probability a second copy of the frame is delivered.
+    dup: float = 0.0
+    #: Probability a frame is delivered late (jittered ``delay_s``).
+    delay: float = 0.0
+    #: Probability a frame is held back past later traffic on its link.
+    reorder: float = 0.0
+    #: Base extra latency for delayed/held frames (seconds).
+    delay_s: float = 600e-6
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "delay", "reorder"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise SimulationError(f"bad {name} probability {p}")
+        if self.delay_s < 0:
+            raise SimulationError(f"negative fault delay {self.delay_s}")
+
+    @property
+    def quiet(self) -> bool:
+        """True when this class of traffic is never disturbed."""
+        return not (self.drop or self.dup or self.delay or self.reorder)
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of network misbehaviour.
+
+    Resolution order for a frame's fault rates: an exact ``kinds``
+    override wins, then a ``links`` ``(src, dst)`` override, then the
+    plan-wide default.  ``kills`` maps a node id to the virtual time it
+    dies; from that instant no frame from or to it is ever delivered.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default: Optional[LinkFaults] = None,
+        links: Optional[Dict[Tuple[int, int], LinkFaults]] = None,
+        kinds: Optional[Dict[str, LinkFaults]] = None,
+        kills: Optional[Dict[int, float]] = None,
+    ):
+        self.seed = seed
+        self.default = default or LinkFaults()
+        self.links = dict(links or {})
+        self.kinds = dict(kinds or {})
+        self.kills = dict(kills or {})
+        self._rng = random.Random(seed)
+        #: Fault bookkeeping, reported by the chaos harness.
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.dead_discards = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """A plan that never interferes (and costs nothing)."""
+        return cls(seed=0)
+
+    @classmethod
+    def uniform(
+        cls,
+        seed: int,
+        drop: float = 0.0,
+        dup: float = 0.0,
+        delay: float = 0.0,
+        reorder: float = 0.0,
+        delay_s: float = 600e-6,
+    ) -> "FaultPlan":
+        """Same fault rates on every link and message kind."""
+        return cls(
+            seed=seed,
+            default=LinkFaults(drop=drop, dup=dup, delay=delay,
+                               reorder=reorder, delay_s=delay_s),
+        )
+
+    def kill(self, node: int, at_time: float) -> "FaultPlan":
+        """Schedule a live kill of ``node`` at virtual time ``at_time``."""
+        if node < 0 or at_time < 0:
+            raise SimulationError(f"bad kill ({node}, {at_time})")
+        self.kills[node] = at_time
+        return self
+
+    # ------------------------------------------------------------------
+    # queries (called by the network in event order)
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the network must consult this plan at all."""
+        if self.kills:
+            return True
+        if not self.default.quiet:
+            return True
+        return any(not f.quiet for f in self.links.values()) or any(
+            not f.quiet for f in self.kinds.values()
+        )
+
+    def faults_for(self, src: int, dst: int, kind: str) -> LinkFaults:
+        """The fault rates governing one frame."""
+        by_kind = self.kinds.get(kind)
+        if by_kind is not None:
+            return by_kind
+        by_link = self.links.get((src, dst))
+        if by_link is not None:
+            return by_link
+        return self.default
+
+    def delivery_delays(self, src: int, dst: int, kind: str) -> List[float]:
+        """Extra latencies for each copy of a frame to deliver.
+
+        An empty list means the frame is dropped; more than one entry
+        means duplication.  Consumes RNG draws, so must be called
+        exactly once per transmission attempt, at post time.
+        """
+        f = self.faults_for(src, dst, kind)
+        if f.quiet:
+            return [0.0]
+        rng = self._rng
+        if f.drop and rng.random() < f.drop:
+            self.dropped += 1
+            return []
+        extra = 0.0
+        if f.delay and rng.random() < f.delay:
+            extra += f.delay_s * (0.5 + rng.random())
+            self.delayed += 1
+        if f.reorder and rng.random() < f.reorder:
+            # hold back long enough for later same-link traffic to pass
+            extra += f.delay_s * (2.0 + 2.0 * rng.random())
+            self.reordered += 1
+        delays = [extra]
+        if f.dup and rng.random() < f.dup:
+            delays.append(extra + f.delay_s * rng.random())
+            self.duplicated += 1
+        return delays
+
+    def struck_dead(self, src: int, dst: int, at_time: float) -> bool:
+        """Whether a delivery at ``at_time`` involves a dead endpoint.
+
+        A frame still in flight (or queued on the victim's NIC) when the
+        kill fires completes its delivery *after* the kill instant, so
+        checking the delivery time discards exactly the in-flight set.
+        """
+        t_src = self.kills.get(src)
+        if t_src is not None and at_time >= t_src:
+            return True
+        t_dst = self.kills.get(dst)
+        return t_dst is not None and at_time >= t_dst
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Injected-fault counts for reports and tests."""
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "dead_discards": self.dead_discards,
+        }
+
+    def describe(self) -> str:
+        """One-line description used in chaos repro commands."""
+        d = self.default
+        parts = [f"seed={self.seed}", f"drop={d.drop:g}", f"dup={d.dup:g}",
+                 f"delay={d.delay:g}", f"reorder={d.reorder:g}"]
+        if self.kills:
+            parts.append("kills=" + ",".join(
+                f"{n}@{t:g}" for n, t in sorted(self.kills.items())))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.describe()}>"

@@ -18,12 +18,13 @@ modelling the ACK-free fast paths in recovery responders).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..config import NetworkConfig
 from ..errors import SimulationError
 from .engine import Simulator
 from .events import Signal, Timeout
+from .faults import FaultPlan
 from .resources import FifoServer, Mailbox
 
 __all__ = ["NetMessage", "Network"]
@@ -47,6 +48,9 @@ class NetMessage:
     size: int = 64
     #: Filled in by the network at delivery time (virtual seconds).
     delivered_at: float = field(default=-1.0, compare=False)
+    #: Per-link sequence number stamped by the reliable transport;
+    #: -1 means unsequenced (fire-and-forget traffic like heartbeats).
+    seq: int = field(default=-1, compare=False)
 
 
 class Network:
@@ -60,12 +64,27 @@ class Network:
     #: Wire overhead added to every message (UDP/IP + protocol header).
     HEADER_BYTES = 40
 
-    def __init__(self, sim: Simulator, config: NetworkConfig, num_nodes: int):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        num_nodes: int,
+        fault_plan: Optional[FaultPlan] = None,
+    ):
         if num_nodes < 1:
             raise SimulationError("network needs at least one node")
         self.sim = sim
         self.config = config
         self.num_nodes = num_nodes
+        self.fault_plan = fault_plan
+        # Inactive plans must leave every stat byte-identical, so the
+        # fault branch in post() is gated once here, not re-checked on
+        # each frame against the plan's tables.
+        self._faulty = fault_plan is not None and fault_plan.active
+        #: Delivery interception point for the reliable transport; a
+        #: hook returning True has consumed the frame (dedup, buffering)
+        #: and keeps it out of the destination mailbox.
+        self.deliver_hook: Optional[Callable[[NetMessage], bool]] = None
         self._nics = [FifoServer(sim, f"nic{i}") for i in range(num_nodes)]
         self._mailboxes = [Mailbox(sim, f"mbox{i}") for i in range(num_nodes)]
         self.bytes_sent: List[int] = [0] * num_nodes
@@ -108,16 +127,42 @@ class Network:
         delivered = Signal(f"net.{msg.kind}.{msg.src}->{msg.dst}")
         extra = self.config.latency_s + self.config.recv_overhead_s
 
-        def on_tx(_finish: Any) -> None:
-            def deliver() -> None:
-                msg.delivered_at = self.sim.now
-                self._mailboxes[msg.dst].put(msg)
-                delivered.trigger(msg)
+        if not self._faulty:
 
-            self.sim.schedule(extra, deliver)
+            def on_tx(_finish: Any) -> None:
+                self.sim.schedule(extra, lambda: self._deliver(msg, delivered))
+
+        else:
+            plan = self.fault_plan
+            assert plan is not None
+            # RNG draws happen here, at post time, in simulator event
+            # order -- the fault schedule for a seed is reproducible.
+            copies = plan.delivery_delays(msg.src, msg.dst, msg.kind)
+
+            def on_tx(_finish: Any) -> None:
+                for fault_delay in copies:
+
+                    def deliver(d: float = fault_delay) -> None:
+                        if plan.struck_dead(msg.src, msg.dst, self.sim.now):
+                            plan.dead_discards += 1
+                            return
+                        self._deliver(msg, delivered)
+
+                    self.sim.schedule(extra + fault_delay, deliver)
 
         tx_done.add_callback(on_tx)
         return delivered
+
+    def _deliver(self, msg: NetMessage, delivered: Signal) -> None:
+        """Final hop: hand the frame to the receiver (or the transport)."""
+        msg.delivered_at = self.sim.now
+        hook = self.deliver_hook
+        if hook is None or not hook(msg):
+            self._mailboxes[msg.dst].put(msg)
+        # Duplicated frames reuse one Signal; only the first arrival of
+        # a copy fires it (physical "the frame landed at least once").
+        if not delivered.triggered:
+            delivered.trigger(msg)
 
     def round_trip_estimate(self, request_bytes: int, reply_bytes: int) -> float:
         """Analytic lower bound for a request/reply exchange.

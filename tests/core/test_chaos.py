@@ -1,0 +1,152 @@
+"""Chaos-suite, failpoint-sweep, and fault-plan byte-identity tests."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.core import make_hooks_factory, run_recovery_experiment
+from repro.core.chaos import run_chaos_run, run_chaos_suite
+from repro.core.detector import FailureDetector
+from repro.dsm import DsmSystem
+from repro.errors import RecoveryError
+from repro.sim import FaultPlan
+from tests.core.conftest import BarrierApp, LockApp
+
+
+class TestNonePlanByteIdentity:
+    """``FaultPlan.none()`` must leave every statistic byte-identical.
+
+    This pins the guarantee the whole Table 2 / Fig 4 / Fig 5 pipeline
+    rests on: attaching an inert plan takes the exact fault-free network
+    code path, so paper numbers are unaffected by the chaos machinery.
+    """
+
+    def fingerprint(self, small_cluster, plan):
+        system = DsmSystem(
+            make_app("sor", n=32, iters=3), small_cluster,
+            make_hooks_factory("ccl"), fault_plan=plan,
+        )
+        r = system.run()
+        return (
+            r.total_time,
+            r.network_bytes,
+            r.network_msgs,
+            r.bytes_by_kind,
+            r.log_summaries,
+            [n.vt for n in system.nodes],
+            [bytes(n.memory.snapshot()) for n in system.nodes],
+        )
+
+    def test_stats_identical_with_and_without_plan(self, small_cluster):
+        bare = self.fingerprint(small_cluster, None)
+        inert = self.fingerprint(small_cluster, FaultPlan.none())
+        assert bare == inert
+
+    def test_inert_plan_uses_bare_network(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=1), small_cluster, make_hooks_factory("ccl"),
+            fault_plan=FaultPlan.none(),
+        )
+        assert system.transport is system.network
+
+
+class TestFailpointSweep:
+    """Crash at every (node, seal) pair: recovery stays bit-exact."""
+
+    @pytest.mark.parametrize("protocol", ["ml", "ccl"])
+    def test_every_node_at_every_seal(self, small_cluster, protocol):
+        probe_run = DsmSystem(
+            BarrierApp(iters=2), small_cluster, make_hooks_factory(protocol)
+        )
+        probe_run.run()
+        seal_counts = [n.seal_count for n in probe_run.nodes]
+        assert min(seal_counts) >= 4
+        for node, seals in enumerate(seal_counts):
+            for seal in range(1, seals + 1):
+                res = run_recovery_experiment(
+                    BarrierApp(iters=2), small_cluster, protocol,
+                    failed_node=node, at_seal=seal,
+                )
+                assert res.ok, (protocol, node, seal, res.mismatches[:3])
+
+    def test_bad_failed_node_fails_fast(self, small_cluster):
+        with pytest.raises(RecoveryError, match="not a valid rank"):
+            run_recovery_experiment(
+                BarrierApp(iters=2), small_cluster, "ccl", failed_node=7
+            )
+
+
+class TestChaosSuite:
+    def test_small_suite_is_bit_exact(self, small_cluster):
+        report = run_chaos_suite(
+            {"barrier": lambda: BarrierApp(iters=3),
+             "lock": lambda: LockApp(iters=2)},
+            small_cluster,
+            protocols=("ccl", "ml"),
+            seeds=3, crash_points=3, kill_every=3,
+        )
+        assert report.ok, report.render()
+        # the suite must actually have injected faults of every class
+        assert report.fault_totals["dropped"] > 0
+        assert report.fault_totals["duplicated"] > 0
+        assert report.fault_totals["reordered"] > 0
+        assert report.transport_totals["retransmits"] > 0
+        # and verified at least one non-trivial recovery
+        assert any(c.stop_at >= 1 for c in report.cases)
+        assert any(c.live_kill for c in report.cases)
+
+    def test_pinned_crash_time_is_reproducible(self, small_cluster):
+        first = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ccl", seed=11,
+            crash_node=1, crash_times=[0.004],
+        )[0]
+        second = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ccl", seed=11,
+            crash_node=1, crash_times=[0.004],
+        )[0]
+        assert [(c.ok, c.stop_at) for c in first] == [
+            (c.ok, c.stop_at) for c in second
+        ]
+
+    def test_failure_report_carries_repro_command(self, small_cluster):
+        cases, _plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ccl", seed=4,
+            crash_points=2,
+        )
+        for c in cases:
+            cmd = c.repro_command()
+            assert "--seed 4" in cmd and "--crash-time" in cmd
+
+
+class TestLiveKillDetection:
+    def test_victim_detected_and_survivors_blocked(self, small_cluster):
+        """Fault injection + heartbeat detector, end to end.
+
+        The plan kills node 2 mid-run: its processes die and the network
+        discards its frames, so its heartbeats stop.  The detector on
+        node 0 must suspect it within the miss budget, and the survivors
+        must stall (recovery exists for a reason).
+        """
+        kill_at = 0.004
+        plan = FaultPlan.uniform(0, drop=0.05, dup=0.05).kill(2, kill_at)
+        system = DsmSystem(
+            BarrierApp(iters=6), small_cluster, make_hooks_factory("ccl"),
+            fault_plan=plan,
+        )
+        period = 1e-3
+        det = FailureDetector(
+            system.sim, system.network, monitor=0,
+            period_s=period, misses_allowed=3,
+        )
+        system.sim.spawn(det.monitor_loop(), name="monitor")
+        for i in range(1, small_cluster.num_nodes):
+            system.sim.spawn(
+                FailureDetector.responder_loop(system.network, i),
+                name=f"hb{i}",
+            )
+        result = system.run()
+        assert not result.completed
+        assert result.blocked
+        assert 2 in det.suspected
+        latency = det.suspected[2] - kill_at
+        assert 0 < latency < 8 * period
+        assert det.on_failure.triggered

@@ -16,6 +16,9 @@ def test_failure_spec_validation():
         FailureSpec(node=0, at_seal=0)
     spec = FailureSpec(node=2, at_seal=5)
     assert spec.node == 2 and spec.at_seal == 5
+    spec.validate(num_nodes=4)  # in range: fine
+    with pytest.raises(ValueError, match="nodes 0..1"):
+        spec.validate(num_nodes=2)
 
 
 class TestCrashProbe:
@@ -64,13 +67,67 @@ class TestCrashProbe:
         system.run()
         assert probe.snapshot.node_id == 3
 
-    def test_probe_force_seals_victim_log(self, small_cluster):
+    def test_finalize_seals_crash_interval(self, small_cluster):
         system = DsmSystem(
             BarrierApp(iters=2), small_cluster, make_hooks_factory("ccl")
         )
         probe = CrashProbe(node=1, at_seal=4)
         system.add_probe(probe)
         system.run()
+        probe.finalize()
         log = system.nodes[1].hooks.log
         # everything the victim buffered through seal 4 is queryable
         assert log.bundle(3)  # interval 3 sealed by sync op 4
+
+    def test_observation_is_side_effect_free(self, small_cluster):
+        """The probe must not perturb the statistics it observes.
+
+        An earlier revision force-sealed the victim's log at *every*
+        seal when ``at_seal`` was None, zero-cost-persisting each
+        interval's volatile tail and deflating the victim's flush and
+        volatile-peak statistics relative to a probe-free run.
+        """
+        def run(with_probe):
+            system = DsmSystem(
+                BarrierApp(iters=3), small_cluster, make_hooks_factory("ccl")
+            )
+            if with_probe:
+                probe = CrashProbe(node=1)
+                system.add_probe(probe)
+            system.run()
+            return system.nodes[1].hooks.log
+
+        baseline = run(with_probe=False)
+        probed = run(with_probe=True)
+        assert probed.summary() == baseline.summary()
+        assert probed.bytes_flushed == baseline.bytes_flushed
+        assert probed.num_flushes == baseline.num_flushes
+        assert probed.volatile_peak_bytes == baseline.volatile_peak_bytes
+
+    def test_finalize_is_idempotent_and_skips_later_records(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=3), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=2, at_seal=2)
+        system.add_probe(probe)
+        system.run()
+        log = system.nodes[2].hooks.log
+        records_before = len(log.persistent_records)
+        probe.finalize()
+        after_once = len(log.persistent_records)
+        probe.finalize()
+        assert len(log.persistent_records) == after_once
+        # records appended after the crash point stay volatile unless a
+        # natural flush already retired them
+        assert after_once >= records_before
+
+    def test_capture_all_retains_every_seal(self, small_cluster):
+        system = DsmSystem(
+            BarrierApp(iters=3), small_cluster, make_hooks_factory("ccl")
+        )
+        probe = CrashProbe(node=1, capture_all=True)
+        system.add_probe(probe)
+        system.run()
+        assert sorted(probe.snapshots) == [1, 2, 3, 4, 5, 6]
+        times = [probe.snapshots[k].time for k in sorted(probe.snapshots)]
+        assert times == sorted(times)

@@ -1,6 +1,7 @@
 """Unit tests for the pooled page buffers."""
 
 import numpy as np
+import pytest
 
 from repro.memory import BufferPool, PageTable
 
@@ -44,11 +45,32 @@ class TestBufferPool:
         pool.give(np.zeros(64, dtype=np.uint32))
         assert pool.free_count == 0
 
-    def test_views_not_pooled(self):
+    def test_views_are_rejected_loudly(self):
+        # a pooled view would let take_copy scribble over live memory
         pool = BufferPool(64)
         backing = np.zeros(128, dtype=np.uint8)
-        pool.give(backing[:64])  # a view could alias live data
+        with pytest.raises(ValueError, match="view"):
+            pool.give(backing[:64])
         assert pool.free_count == 0
+
+    def test_readonly_buffers_are_rejected_loudly(self):
+        # pooling a read-only array defers the crash to an unrelated
+        # take_copy call site; fail at the give() that caused it
+        pool = BufferPool(64)
+        buf = np.zeros(64, dtype=np.uint8)
+        buf.flags.writeable = False
+        with pytest.raises(ValueError, match="read-only"):
+            pool.give(buf)
+        assert pool.free_count == 0
+
+    def test_take_copy_rejects_size_mismatch(self):
+        # numpy would happily broadcast a scalar or raise a confusing
+        # shape error deep inside copyto; the pool checks up front
+        pool = BufferPool(64)
+        with pytest.raises(ValueError, match="take_copy"):
+            pool.take_copy(np.zeros(32, dtype=np.uint8))
+        with pytest.raises(ValueError, match="take_copy"):
+            pool.take_copy(np.zeros((8, 8), dtype=np.uint8))
 
     def test_free_list_is_bounded(self):
         pool = BufferPool(8, max_free=2)

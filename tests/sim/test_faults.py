@@ -1,0 +1,144 @@
+"""Unit tests for deterministic fault injection."""
+
+import pytest
+
+from repro.config import NetworkConfig
+from repro.errors import SimulationError
+from repro.sim import FaultPlan, LinkFaults, NetMessage, Network, Simulator
+
+
+def make_net(sim, plan=None, num_nodes=4, **kw):
+    return Network(sim, NetworkConfig(**kw), num_nodes=num_nodes,
+                   fault_plan=plan)
+
+
+class TestLinkFaults:
+    def test_probabilities_are_validated(self):
+        with pytest.raises(SimulationError):
+            LinkFaults(drop=1.5)
+        with pytest.raises(SimulationError):
+            LinkFaults(dup=-0.1)
+        with pytest.raises(SimulationError):
+            LinkFaults(delay_s=-1e-6)
+
+    def test_quiet(self):
+        assert LinkFaults().quiet
+        assert not LinkFaults(reorder=0.1).quiet
+
+
+class TestFaultPlan:
+    def test_none_is_inactive(self):
+        assert not FaultPlan.none().active
+
+    def test_uniform_is_active(self):
+        assert FaultPlan.uniform(0, drop=0.1).active
+
+    def test_kill_alone_activates(self):
+        assert FaultPlan(seed=0).kill(1, 0.5).active
+
+    def test_bad_kill_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(seed=0).kill(-1, 0.5)
+        with pytest.raises(SimulationError):
+            FaultPlan(seed=0).kill(1, -0.5)
+
+    def test_resolution_order_kind_beats_link_beats_default(self):
+        loud = LinkFaults(drop=0.5)
+        louder = LinkFaults(drop=0.9)
+        plan = FaultPlan(seed=0, default=LinkFaults(drop=0.1),
+                         links={(0, 1): loud}, kinds={"diff": louder})
+        assert plan.faults_for(0, 1, "diff") is louder
+        assert plan.faults_for(0, 1, "page_req") is loud
+        assert plan.faults_for(2, 3, "page_req").drop == 0.1
+
+    def test_same_seed_same_schedule(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan.uniform(42, drop=0.3, dup=0.3, delay=0.3,
+                                     reorder=0.3)
+            draws.append(
+                [plan.delivery_delays(0, 1, "x") for _ in range(200)]
+            )
+        assert draws[0] == draws[1]
+
+    def test_quiet_class_consumes_no_randomness(self):
+        plan = FaultPlan(seed=7, links={(0, 1): LinkFaults(drop=1.0)})
+        before = plan._rng.getstate()
+        assert plan.delivery_delays(2, 3, "x") == [0.0]
+        assert plan._rng.getstate() == before
+
+    def test_drop_returns_no_copies(self):
+        plan = FaultPlan.uniform(0, drop=1.0)
+        assert plan.delivery_delays(0, 1, "x") == []
+        assert plan.dropped == 1
+
+    def test_dup_returns_two_copies(self):
+        plan = FaultPlan.uniform(0, dup=1.0)
+        delays = plan.delivery_delays(0, 1, "x")
+        assert len(delays) == 2
+        assert plan.duplicated == 1
+
+    def test_struck_dead_covers_in_flight_and_later(self):
+        plan = FaultPlan(seed=0).kill(2, 1.0)
+        assert not plan.struck_dead(0, 2, 0.999)
+        assert plan.struck_dead(0, 2, 1.0)      # in flight at the kill
+        assert plan.struck_dead(2, 0, 5.0)      # victim as sender
+        assert not plan.struck_dead(0, 1, 5.0)  # unrelated link
+
+    def test_describe_mentions_kills(self):
+        text = FaultPlan.uniform(3, drop=0.25).kill(1, 0.5).describe()
+        assert "seed=3" in text and "drop=0.25" in text and "1@0.5" in text
+
+
+class TestFaultedNetwork:
+    def msgs(self, net, sim, n=20, src=0, dst=1):
+        got = []
+
+        def sender():
+            for i in range(n):
+                yield from net.send(
+                    NetMessage(src=src, dst=dst, kind="x", size=64, payload=i)
+                )
+
+        def receiver():
+            while True:
+                m = yield net.mailbox(dst).get()
+                got.append(m.payload)
+
+        sim.spawn(sender(), name="s")
+        rx = sim.spawn(receiver(), name="r")
+        sim.run(detect_deadlock=False)
+        rx.kill()
+        return got
+
+    def test_drop_all_delivers_nothing(self):
+        sim = Simulator()
+        net = make_net(sim, FaultPlan.uniform(0, drop=1.0))
+        assert self.msgs(net, sim) == []
+
+    def test_dup_all_delivers_everything_twice(self):
+        sim = Simulator()
+        net = make_net(sim, FaultPlan.uniform(0, dup=1.0))
+        got = self.msgs(net, sim, n=10)
+        assert sorted(got) == sorted(list(range(10)) * 2)
+
+    def test_reorder_shuffles_but_loses_nothing(self):
+        sim = Simulator()
+        net = make_net(sim, FaultPlan.uniform(1, reorder=0.5))
+        got = self.msgs(net, sim, n=40)
+        assert sorted(got) == list(range(40))
+        assert got != list(range(40))  # seed 1 does reorder at 0.5
+
+    def test_inert_plan_takes_fault_free_path(self):
+        sim = Simulator()
+        net = make_net(sim, FaultPlan.none())
+        assert not net._faulty
+        assert self.msgs(net, sim, n=5) == list(range(5))
+
+    def test_live_kill_discards_in_flight_frames(self):
+        sim = Simulator()
+        plan = FaultPlan(seed=0).kill(1, 0.0)  # dead from the start
+        net = make_net(sim, plan)
+        got = self.msgs(net, sim, n=5)
+        assert got == []
+        assert plan.dead_discards == 5

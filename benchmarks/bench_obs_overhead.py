@@ -1,0 +1,90 @@
+"""S2 -- the telemetry layer's runtime cost.
+
+Runs the same application three ways and reports wall-clock seconds:
+
+* ``off``      -- tracer disabled, the default: every span/edge guard
+  short-circuits on ``Tracer.enabled``;
+* ``spans``    -- causal spans + message edges recorded;
+* ``exported`` -- spans recorded, then the Chrome-trace export, the
+  critical-path walk, and the flush-overlap metric computed (what
+  ``repro timeline`` / ``repro critical-path`` pay per run).
+
+The bound that matters is ``off`` vs an untraced build: tracing-off
+must be free, which the pinned golden test
+(tests/obs/test_byte_identity.py) checks for *values* and this bench
+bounds for *wall time* -- recording must also stay cheap enough that
+``--sanitize`` and the chaos suite's failure dumps remain usable.
+"""
+
+import time
+
+from repro.apps import make_app
+from repro.core import CoherenceCentricLogging
+from repro.dsm import DsmSystem
+from repro.harness import app_kwargs, render_sweep, sweep
+from repro.obs import chrome_trace, critical_path, flush_overlap
+from repro.sim.trace import Tracer
+
+
+def _build(ultra5, traced: bool) -> DsmSystem:
+    return DsmSystem(
+        make_app("sor", **app_kwargs("sor", "bench")),
+        ultra5,
+        lambda _i: CoherenceCentricLogging(),
+        tracer=Tracer(enabled=traced),
+    )
+
+
+def test_obs_overhead(benchmark, ultra5, save_artifact):
+    def timed(fn):
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    def body():
+        off = timed(lambda: _build(ultra5, False).run())
+
+        spans_system = _build(ultra5, True)
+        spans = timed(lambda: spans_system.run())
+
+        export_system = _build(ultra5, True)
+
+        def run_and_export():
+            export_system.run()
+            chrome_trace(export_system.tracer)
+            critical_path(export_system.tracer)
+            flush_overlap(export_system.tracer)
+
+        exported = timed(run_and_export)
+        return {
+            "off_s": off,
+            "spans_s": spans,
+            "exported_s": exported,
+            "spans": len(spans_system.tracer.spans),
+            "edges": len(spans_system.tracer.edges),
+        }
+
+    times = benchmark.pedantic(body, rounds=1, iterations=1)
+
+    points = sweep(
+        [("off", {}), ("spans", {}), ("exported", {})],
+        lambda label, _p: {
+            "wall_s": times[f"{label}_s"],
+            "overhead_pct": 100 * (times[f"{label}_s"] / times["off_s"] - 1),
+        },
+    )
+    text = render_sweep(
+        "telemetry overhead (sor/ccl, bench scale, "
+        f"{times['spans']} spans, {times['edges']} edges)",
+        points,
+    )
+    print(text)
+    save_artifact("obs_overhead", text)
+
+    benchmark.extra_info.update(
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in times.items()}
+    )
+    # recording + analysis must stay within an order of magnitude of the
+    # untraced run (shared CI runners: keep the bound loose)
+    assert times["spans_s"] < 10 * max(times["off_s"], 0.05)
+    assert times["exported_s"] < 20 * max(times["off_s"], 0.05)

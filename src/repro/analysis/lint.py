@@ -24,6 +24,10 @@ Rules:
   functions.  Simulated time comes from the engine; randomness must go
   through an explicitly seeded ``RandomState``/``default_rng`` so runs
   stay reproducible.
+* **OBS001** -- a bare ``print()`` call: all harness output must go
+  through the console layer (:mod:`repro.obs.console`) so ``--quiet``
+  and ``--json`` stay honest.  The console module itself (the one
+  place allowed to touch stdout) is exempt by filename.
 
 A finding can be suppressed by ending its line with ``# lint: ignore``.
 """
@@ -32,10 +36,11 @@ from __future__ import annotations
 
 import argparse
 import ast
-import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence
+
+from ..obs.console import get_console
 
 __all__ = ["Finding", "lint_source", "lint_paths", "main"]
 
@@ -129,6 +134,8 @@ class _Linter(ast.NodeVisitor):
         #: import alias -> real module name, for DET001/BLK001 resolution.
         self.modules: dict[str, str] = {}
         self._generator_depth = 0
+        # the console module is the one place allowed to touch stdout
+        self._allow_print = Path(path).name == "console.py"
 
     # -- bookkeeping ---------------------------------------------------
     def _add(self, node: ast.AST, code: str, message: str) -> None:
@@ -212,6 +219,16 @@ class _Linter(ast.NodeVisitor):
                 "input() blocks the process on the host terminal inside a "
                 "simulated process",
             )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and not self._allow_print
+        ):
+            self._add(
+                node, "OBS001",
+                "bare print() bypasses the console layer; route output "
+                "through repro.obs.console so --quiet/--json stay honest",
+            )
         self.generic_visit(node)
 
     def _check_dotted_call(self, node: ast.Call, dotted: str) -> None:
@@ -281,16 +298,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis.lint",
         description="AST lint for simulator-specific hazards "
         "(GEN001 generator protocol, BLK001 blocking calls, "
-        "MUT001 mutable defaults, DET001 nondeterminism).",
+        "MUT001 mutable defaults, DET001 nondeterminism, "
+        "OBS001 bare print).",
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint")
     args = parser.parse_args(argv)
     findings = lint_paths(args.paths)
+    con = get_console()
     for f in findings:
-        print(f)
+        con.result(str(f))
     if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        con.error(f"{len(findings)} finding(s)")
         return 1
     return 0
 

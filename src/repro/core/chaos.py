@@ -143,6 +143,7 @@ def run_chaos_run(
     sanitize: bool = False,
     app_name: Optional[str] = None,
     repro_extra: str = "",
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[List[ChaosCase], FaultPlan, Any]:
     """One faulted phase-A execution plus its crash-instant recoveries.
 
@@ -181,7 +182,8 @@ def run_chaos_run(
     plan = FaultPlan.uniform(seed, **rates)
     if kill_time is not None:
         plan.kill(victim, kill_time)
-    tracer = Tracer(enabled=True) if sanitize else None
+    if tracer is None and sanitize:
+        tracer = Tracer(enabled=True)
     system_a = DsmSystem(
         app, config, make_hooks_factory(protocol), tracer=tracer, fault_plan=plan
     )

@@ -176,6 +176,30 @@ class HlrcNode:
         """Whether structured events should be built (guards dict costs)."""
         return self.system.tracer.enabled
 
+    def _span(
+        self,
+        name: str,
+        cat: str,
+        strand: str = "main",
+        detail: Any = None,
+    ) -> int:
+        """Open a causal span at the current virtual time (-1 when off)."""
+        if not self._tracing:
+            return -1
+        return self.system.tracer.begin(
+            self.sim.now, self.id, name, cat, strand=strand, detail=detail
+        )
+
+    def _span_end(self, sid: int, detail: Any = None) -> None:
+        """Close a span; optionally replace its detail (e.g. with the
+        edge id of the message that ended a wait)."""
+        if sid < 0:
+            return
+        tracer = self.system.tracer
+        if detail is not None and sid < len(tracer.spans):
+            tracer.spans[sid].detail = detail
+        tracer.end(sid, self.sim.now)
+
     def _manager_event(self, event: str, detail: dict) -> None:
         """Trace sink for manager-side lock/barrier state machines."""
         if self._tracing:
@@ -236,7 +260,12 @@ class HlrcNode:
         kinds = self.SERVER_KINDS
         while True:
             msg: NetMessage = yield mbox.get(lambda m: m.kind in kinds)
+            sid = self._span(
+                f"handle_{msg.kind}", "handler", strand="server",
+                detail={"eid": msg.obs_eid, "from": msg.src},
+            )
             yield from self._dispatch(msg)
+            self._span_end(sid)
 
     def _dispatch(self, msg: NetMessage) -> Generator[Any, Any, None]:
         kind = msg.kind
@@ -392,28 +421,38 @@ class HlrcNode:
         """Charge ``flops`` of application work to the virtual clock."""
         dt = self.cfg.cpu.compute_time(flops)
         self.stats.charge("compute", dt)
+        sid = self._span("compute", "cpu")
         yield Timeout(dt)
+        self._span_end(sid)
 
     def idle(self, seconds: float) -> Generator[Any, Any, None]:
         """Charge raw wall time (I/O-ish application phases)."""
         self.stats.charge("compute", seconds)
+        sid = self._span("idle", "cpu")
         yield Timeout(seconds)
+        self._span_end(sid)
 
     # ------------------------------------------------------------------
     def acquire(self, lock_id: int) -> Generator[Any, Any, None]:
         """Lock acquire: fetch ownership + apply piggybacked notices."""
+        osid = self._span("acquire", "sync", detail={"lock": lock_id})
         yield Timeout(self.cfg.cpu.sync_overhead_s)
         if self.hooks.flush_at_sync_entry:
+            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
+            self._span_end(fsid)
         t0 = self.sim.now
         mgr = self.lock_manager(lock_id)
+        wsid = self._span("lock_wait", "wait", detail={"lock": lock_id})
         if mgr == self.id:
             records = yield from self._acquire_local(lock_id)
+            self._span_end(wsid)
         else:
             sig = self.expect("lock_grant", lock_id)
             yield from self._send(mgr, "lock_req",
                                   LockRequest(lock_id, self.id, self.vt))
             msg = yield sig
+            self._span_end(wsid, detail={"lock": lock_id, "eid": msg.obs_eid})
             records = msg.payload.records
             known = self.peer_known_vt[mgr]
             for r in records:
@@ -430,6 +469,7 @@ class HlrcNode:
                 {"lock": lock_id, "vt": list(self.vt.as_tuple())},
             )
         self.hooks.notify_notices_received(records, self.acq_seq)
+        self._span_end(osid)
 
     def _acquire_local(self, lock_id: int) -> Generator[Any, Any, List[IntervalRecord]]:
         state = self._lock_state(lock_id)
@@ -442,9 +482,12 @@ class HlrcNode:
     # ------------------------------------------------------------------
     def release(self, lock_id: int) -> Generator[Any, Any, None]:
         """Lock release: close the interval, flush diffs + log, hand off."""
+        osid = self._span("release", "sync", detail={"lock": lock_id})
         yield Timeout(self.cfg.cpu.sync_overhead_s)
         if self.hooks.flush_at_sync_entry:
+            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
+            self._span_end(fsid)
         yield from self._end_interval()
         self._fire_probes()
         if self._tracing:
@@ -463,13 +506,17 @@ class HlrcNode:
             self.peer_known_vt[mgr] = self.peer_known_vt[mgr].merge(self.vt)
         self.stats.count("lock_releases")
         self._trace("release", lock_id)
+        self._span_end(osid)
 
     # ------------------------------------------------------------------
     def barrier(self, barrier_id: int = 0) -> Generator[Any, Any, None]:
         """Barrier: close the interval, then all-to-all notice exchange."""
+        osid = self._span("barrier", "sync", detail={"barrier": barrier_id})
         yield Timeout(self.cfg.cpu.sync_overhead_s)
         if self.hooks.flush_at_sync_entry:
+            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
+            self._span_end(fsid)
         yield from self._end_interval()
         self._fire_probes()
         ep = self.barrier_episode
@@ -500,17 +547,20 @@ class HlrcNode:
             self.stats.count("records_pruned", pruned)
         if self.checkpointer is not None:
             yield from self.checkpointer.maybe_take_barrier(self)
+        self._span_end(osid)
 
     def _barrier_as_worker(self, barrier_id: int) -> Generator[Any, Any, None]:
         mgr = 0
         records = self.table.records_not_covered_by(self.peer_known_vt[mgr])
         sig = self.expect("barrier_release", barrier_id)
+        wsid = self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
         yield from self._send(
             mgr, "barrier_checkin",
             BarrierCheckin(barrier_id, self.id, self.barrier_episode,
                            self.vt, records),
         )
         msg = yield sig
+        self._span_end(wsid, detail={"barrier": barrier_id, "eid": msg.obs_eid})
         self.barrier_episode += 1
         yield from self._apply_notices(msg.payload.records)
         self.hooks.notify_notices_received(msg.payload.records, 0)
@@ -521,7 +571,9 @@ class HlrcNode:
         assert self.barrier_state is not None
         all_in = self.barrier_state.checkin(self.id, self.vt, self.barrier_episode)
         self.barrier_episode += 1
+        wsid = self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
         yield all_in
+        self._span_end(wsid)
         participants = self.barrier_state.participant_vts()
         for node, vt in participants:
             if node == self.id:
@@ -610,7 +662,10 @@ class HlrcNode:
             self.stats.count("diff_bytes_sent", d.nbytes)
         if scan_cost:
             self.stats.charge("diff", scan_cost)
+            ssid = self._span("diff_scan", "cpu",
+                              detail={"pages": len(pages), "part": part})
             yield Timeout(scan_cost)
+            self._span_end(ssid)
         if not by_home:
             return
         self.interval_parts = part
@@ -631,7 +686,10 @@ class HlrcNode:
             ack_sigs.append(self.expect("diff_ack", home))
             yield from self._send(home, "diff", batch)
         t0 = self.sim.now
+        wsid = self._span("diff_wait", "wait",
+                          detail={"interval": vt_index, "part": part})
         yield AllOf(ack_sigs)
+        self._span_end(wsid)
         self.stats.charge("diff_wait", self.sim.now - t0)
         if self._tracing:
             self._trace(
@@ -695,7 +753,10 @@ class HlrcNode:
                         remote_diffs.append(d)
             if scan_cost:
                 self.stats.charge("diff", scan_cost)
+                ssid = self._span("diff_scan", "cpu",
+                                  detail={"pages": len(dirty)})
                 yield Timeout(scan_cost)
+                self._span_end(ssid)
             record = IntervalRecord(self.id, vt_index, new_vt, tuple(dirty))
             self.stats.count("diffs_created", len(remote_diffs))
             self.stats.count(
@@ -743,13 +804,30 @@ class HlrcNode:
         # waits for acknowledgements, never for its own disk).
         if self._pending_flush is not None and not self._pending_flush.triggered:
             t1 = self.sim.now
+            stall_sid = self._span("flush_stall", "wait")
             yield self._pending_flush
+            self._span_end(stall_sid)
             self.stats.charge("log_flush", self.sim.now - t1)
         self._pending_flush = self.hooks.overlapped_flush()
+        if self._pending_flush is not None and self._tracing:
+            fsid = self._span(
+                "log_flush", "disk", strand="disk",
+                detail={"mode": "async", "interval": self.interval_index},
+            )
+            tracer = self.system.tracer
+            sim = self.sim
+            self._pending_flush.add_callback(
+                lambda _v, s=fsid: tracer.end(s, sim.now)
+            )
 
         if ack_sigs:
             t0 = self.sim.now
+            wsid = self._span(
+                "diff_wait", "wait",
+                detail={"interval": self.interval_index, "part": 0},
+            )
             yield AllOf(ack_sigs)
+            self._span_end(wsid)
             self.stats.charge("diff_wait", self.sim.now - t0)
             if self._tracing:
                 assert record is not None
@@ -822,11 +900,13 @@ class HlrcNode:
     def _fault_fetch(self, page: int) -> Generator[Any, Any, None]:
         """One page-fault round trip to the home node."""
         t0 = self.sim.now
+        wsid = self._span("page_fault", "wait", detail={"page": page})
         yield Timeout(self.cfg.cpu.page_fault_s)
         entry = self.pagetable.entry(page)
         sig = self.expect("page_reply", page)
         yield from self._send(entry.home, "page_req", PageRequest(page, self.id))
         msg = yield sig
+        self._span_end(wsid, detail={"page": page, "eid": msg.obs_eid})
         reply: PageReply = msg.payload
         self.memory.page_bytes(page)[:] = reply.contents
         self.pagetable.set_state(page, PageState.CLEAN, "fetch")

@@ -106,6 +106,7 @@ class DsmSystem:
             self.sim, self.config.network, self.config.num_nodes,
             fault_plan=fault_plan,
         )
+        self.network.tracer = self.tracer
         # An active plan interposes the reliable transport between the
         # protocol and the wire; otherwise the nodes talk to the bare
         # network and every existing stat stays byte-identical.

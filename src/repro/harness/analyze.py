@@ -17,28 +17,31 @@ from __future__ import annotations
 from ..analysis.invariants import InvariantReport, check_trace
 from ..analysis.recoverability import RecoverabilityReport
 from ..config import ClusterConfig
+from ..obs.console import get_console
 from ..sim.trace import Tracer
 
 __all__ = ["analyze_trace", "analyze_app", "run_analyze"]
 
 
 def _print_invariants(report: InvariantReport) -> None:
-    print(
+    con = get_console()
+    con.result(
         f"invariant checker: {report.events_checked} events, "
         f"{report.intervals_seen} intervals, "
         f"{report.races_checked} race pairs checked"
     )
     if report.ok:
-        print("  no violations")
+        con.result("  no violations")
         return
     for rule in sorted({v.rule for v in report.violations}):
         violations = report.by_rule(rule)
-        print(f"  {rule}: {len(violations)}")
+        con.result(f"  {rule}: {len(violations)}")
         for v in violations:
-            print(f"    {v}")
+            con.result(f"    {v}")
 
 
 def _print_audit(report: RecoverabilityReport) -> None:
+    con = get_console()
     line = (
         f"recoverability auditor ({report.protocol}): "
         f"{report.events_checked} update events, "
@@ -47,18 +50,18 @@ def _print_audit(report: RecoverabilityReport) -> None:
     )
     if report.skipped_reason:
         line += f" (content pass skipped: {report.skipped_reason})"
-    print(line)
+    con.result(line)
     if report.ok:
-        print("  all logged state recoverable")
+        con.result("  all logged state recoverable")
         return
     for p in report.problems:
-        print(f"  {p}")
+        con.result(f"  {p}")
 
 
 def analyze_trace(path: str) -> int:
     """Check one saved JSONL trace; returns a process exit code."""
     tracer = Tracer.load(path)
-    print(f"{path}: {len(tracer)} events")
+    get_console().result(f"{path}: {len(tracer)} events")
     report = check_trace(tracer)
     _print_invariants(report)
     return 0 if report.ok else 1
@@ -76,16 +79,17 @@ def analyze_app(
     from ..analysis.sanitize import traced
     from .runner import run_application
 
+    con = get_console()
     with traced():
         result, system = run_application(app, protocol, config, scale)
     status = "completed" if result.completed else "DID NOT COMPLETE"
-    print(
+    con.result(
         f"{app}/{protocol} @ {scale}: {status}, "
         f"{len(system.tracer)} trace events"
     )
     if save:
         system.tracer.save(save)
-        print(f"trace written to {save}")
+        con.info(f"trace written to {save}")
     inv = check_trace(system.tracer)
     _print_invariants(inv)
     audit = audit_recoverability(system)
@@ -105,5 +109,5 @@ def run_analyze(args) -> int:
             analyze_app(app, args.protocol, config, args.scale,
                         save=args.save_trace),
         )
-        print()
+        get_console().result("")
     return worst

@@ -8,6 +8,11 @@ command that reproduces exactly that case::
     repro chaos --apps sor --protocols ccl --seed 7 \
         --crash-time 0.0123 --crash-node 2
 
+and -- unless ``--no-artifacts`` -- re-runs the failing execution with
+tracing forced on and dumps a telemetry bundle (manifest + span trace,
+see docs/observability.md) next to that command, so the causal timeline
+of the failure is preserved without re-running anything.
+
 See :mod:`repro.core.chaos` for the verification model.
 """
 
@@ -15,7 +20,8 @@ from __future__ import annotations
 
 from ..apps import make_app
 from ..config import ClusterConfig
-from ..core.chaos import run_chaos_run, run_chaos_suite
+from ..core.chaos import ChaosReport, run_chaos_run, run_chaos_suite
+from ..obs.console import get_console
 from .scales import app_kwargs
 
 __all__ = ["run_chaos"]
@@ -23,6 +29,10 @@ __all__ = ["run_chaos"]
 #: Small-but-representative default pair: SOR is barrier-phased with
 #: wide sharing, Water lock-heavy with migratory pages.
 DEFAULT_CHAOS_APPS = ("sor", "water")
+
+#: At most this many failures get a telemetry bundle (a pathological
+#: run can fail hundreds of cases; each bundle re-runs the execution).
+MAX_FAILURE_BUNDLES = 3
 
 
 def _factories(app_names, scale):
@@ -42,7 +52,63 @@ def _rates(args):
     }
 
 
+def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
+    """Re-run up to MAX_FAILURE_BUNDLES failing cases traced and dump
+    one telemetry bundle per case next to its repro command."""
+    from ..obs.artifacts import config_dict, write_bundle
+    from ..sim.trace import Tracer
+
+    con = get_console()
+    # one bundle per distinct (app, protocol, seed) execution
+    seen = set()
+    dumped = 0
+    for case in report.failures:
+        key = (case.app, case.protocol, case.seed)
+        if key in seen or case.app not in factories:
+            continue
+        seen.add(key)
+        if dumped >= MAX_FAILURE_BUNDLES:
+            con.info(
+                f"({len(report.failures)} failures; bundles capped at "
+                f"{MAX_FAILURE_BUNDLES})"
+            )
+            break
+        tracer = Tracer(enabled=True)
+        try:
+            run_chaos_run(
+                factories[case.app], config, case.protocol, case.seed,
+                app_name=case.app,
+                crash_node=case.crash_node,
+                crash_times=[case.crash_time],
+                live_kill=case.live_kill,
+                rates=_rates(args),
+                tracer=tracer,
+            )
+        except Exception as exc:  # the failure itself may raise
+            con.info(f"traced re-run of seed {case.seed} raised: {exc!r}")
+        manifest = {
+            "command": "chaos-failure",
+            "config": config_dict(config),
+            "case": {
+                "app": case.app,
+                "protocol": case.protocol,
+                "seed": case.seed,
+                "crash_node": case.crash_node,
+                "crash_time": case.crash_time,
+                "live_kill": case.live_kill,
+                "detail": case.detail,
+                "mismatches": case.mismatches[:20],
+            },
+            "repro_command": case.repro_command(),
+        }
+        bundle = write_bundle(args.runs_dir, manifest, tracer=tracer,
+                              run_id=None)
+        con.result(f"  telemetry bundle for seed {case.seed}: {bundle}")
+        dumped += 1
+
+
 def run_chaos(args) -> int:
+    con = get_console()
     config = ClusterConfig.ultra5(num_nodes=args.nodes)
     apps = args.apps if args.apps_given else list(DEFAULT_CHAOS_APPS)
     factories = _factories(apps, args.scale)
@@ -50,8 +116,6 @@ def run_chaos(args) -> int:
 
     if args.seed is not None:
         # single-seed repro path, optionally pinned to one crash instant
-        from ..core.chaos import ChaosReport
-
         report = ChaosReport()
         for name, factory in sorted(factories.items()):
             for protocol in args.protocols:
@@ -70,7 +134,7 @@ def run_chaos(args) -> int:
                 )
                 report.cases.extend(run_cases)
                 report.merge_totals(plan, transport)
-                print(f"{name}/{protocol}: {plan.describe()}")
+                con.info(f"{name}/{protocol}: {plan.describe()}")
     else:
         report = run_chaos_suite(
             factories, config,
@@ -84,5 +148,13 @@ def run_chaos(args) -> int:
             fail_fast=args.fail_fast,
             repro_extra=repro_extra,
         )
-    print(report.render())
+    con.result(report.render())
+    if report.failures and not args.no_artifacts:
+        _dump_failure_bundles(report, factories, config, args)
+    con.emit("chaos", {
+        "cases": len(report.cases),
+        "failures": len(report.failures),
+        "fault_totals": dict(report.fault_totals),
+        "transport_totals": dict(report.transport_totals),
+    })
     return 0 if report.ok else 1

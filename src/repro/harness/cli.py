@@ -11,30 +11,47 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro perf   [--out BENCH_perf.json]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
     python -m repro chaos  [--seeds 13] [--crash-points 5] [--seed N ...]
+    python -m repro timeline [runs/<id> | trace.jsonl]
+    python -m repro critical-path [runs/<id> | trace.jsonl]
+    python -m repro compare runs/<A> runs/<B>
 
 Each command prints the rendered table/figure; ``--csv PREFIX`` also
-writes the underlying rows to ``PREFIX_<name>.csv``.  ``analyze`` runs
-the coherence sanitizer (see :mod:`repro.analysis`) over a saved trace
-or a fresh traced run.  ``--jobs N`` fans independent simulations
-(per-app comparisons, ablation variants) out over N processes; results
-are gathered in submission order, so the rendered tables are
-byte-identical to a serial run.  ``perf`` runs the microbenchmark suite
-(see :mod:`repro.harness.perf`) and writes ``BENCH_perf.json``.
+writes the underlying rows to ``PREFIX_<name>.csv``.  Output goes
+through the console layer (:mod:`repro.obs.console`): ``--quiet``
+drops progress lines, ``--json`` emits one machine-readable document.
+Commands that run simulations also write a run-artifact bundle to
+``--runs-dir`` (default ``runs/``; disable with ``--no-artifacts``) --
+``repro compare A B`` diffs two such bundles, ``repro timeline`` and
+``repro critical-path`` analyse their recorded traces (see
+docs/observability.md).  ``--jobs N`` fans independent simulations out
+over N processes; results are gathered in submission order, so the
+rendered tables are byte-identical to a serial run.  ``perf`` runs the
+microbenchmark suite (see :mod:`repro.harness.perf`), writes
+``BENCH_perf.json``, and appends the run to
+``benchmark_results/history.jsonl`` (the committed perf trajectory).
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..apps import PAPER_APPS
 from ..config import ClusterConfig
+from ..obs.artifacts import config_dict, result_summary, write_bundle
+from ..obs.console import configure as configure_console
 from .figures import fig4_rows, fig5_rows, render_fig4, render_fig5, write_csv
 from .runner import logging_comparison_task, recovery_comparison_task
 from .sweep import parallel_map
 from .tables import render_table1, render_table2_panel
 
 __all__ = ["main"]
+
+COMMANDS = [
+    "table1", "table2", "fig4", "fig5", "breakdown", "report", "analyze",
+    "ablation", "perf", "chaos", "timeline", "critical-path", "compare",
+    "all",
+]
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -45,23 +62,27 @@ def _parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "command",
-        choices=["table1", "table2", "fig4", "fig5", "breakdown", "report",
-                 "analyze", "ablation", "perf", "chaos", "all"],
+        choices=COMMANDS,
         help="which artefact to regenerate ('analyze' runs the coherence "
              "sanitizer, 'perf' the microbenchmark suite, 'chaos' the "
-             "seeded fault-injection/recovery property suite)",
+             "seeded fault-injection/recovery property suite; 'timeline', "
+             "'critical-path' and 'compare' work on run-artifact bundles)",
     )
     p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
-                   help="analyze: a saved JSONL trace to check (omit to "
-                        "run --apps under the sanitizer instead)")
+                   help="analyze/timeline/critical-path: a saved JSONL "
+                        "trace or a runs/<id> bundle; compare: bundle A")
+    p.add_argument("trace2", nargs="?", default=None, metavar="TRACE2",
+                   help="compare: bundle B")
     p.add_argument("--save-trace", default=None, metavar="PATH",
                    help="analyze: also save the run's trace as JSONL")
     p.add_argument("--out", default=None, metavar="PATH",
-                   help="write the report command's Markdown here "
-                        "(default: stdout)")
+                   help="write the report/perf/timeline output here "
+                        "(default: stdout / BENCH_perf.json / "
+                        "timeline.json)")
     p.add_argument("--protocol", default="ccl",
                    choices=["none", "ml", "ccl"],
-                   help="logging protocol for the breakdown command")
+                   help="logging protocol for the breakdown/timeline/"
+                        "critical-path commands")
     p.add_argument("--paper-mode", action="store_true",
                    help="writer-aligned homes + no home-write logging "
                         "(reproduces the paper's log-size ratios; "
@@ -85,6 +106,19 @@ def _parser() -> argparse.ArgumentParser:
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
+    obs = p.add_argument_group("output and run artifacts")
+    obs.add_argument("--quiet", action="store_true",
+                     help="suppress progress output (results still print)")
+    obs.add_argument("--json", action="store_true", dest="json_mode",
+                     help="emit one JSON document instead of text")
+    obs.add_argument("--runs-dir", default="runs", metavar="DIR",
+                     help="where run-artifact bundles are written "
+                          "(default: runs/)")
+    obs.add_argument("--no-artifacts", action="store_true",
+                     help="do not write a run-artifact bundle")
+    obs.add_argument("--history", default="benchmark_results/history.jsonl",
+                     metavar="PATH",
+                     help="perf: the append-only perf trajectory file")
     chaos = p.add_argument_group(
         "chaos", "seeded fault-injection / arbitrary-instant crash suite"
     )
@@ -127,13 +161,44 @@ def _parser() -> argparse.ArgumentParser:
     return p
 
 
+def _write_run_bundle(args, config: ClusterConfig,
+                      summaries: List[Dict[str, Any]],
+                      extra: Optional[Dict[str, Any]] = None) -> None:
+    """Persist one run-artifact bundle for a finished command."""
+    if args.no_artifacts or not summaries:
+        return
+    manifest: Dict[str, Any] = {
+        "command": args.command,
+        "scale": args.scale,
+        "config": config_dict(config),
+        "results": summaries,
+    }
+    if extra:
+        manifest.update(extra)
+    bundle = write_bundle(args.runs_dir, manifest)
+    from ..obs.console import get_console
+
+    get_console().info(f"run bundle: {bundle}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the CLI; returns a process exit code."""
     args = _parser().parse_args(argv)
+    con = configure_console(quiet=args.quiet, json_mode=args.json_mode)
+    try:
+        code = _dispatch(args, con)
+    finally:
+        con.finish()
+        configure_console()  # reset modes for in-process callers (tests)
+    return code
+
+
+def _dispatch(args, con) -> int:
     args.apps_given = args.apps is not None
     if args.apps is None:
         args.apps = list(PAPER_APPS)
     config = ClusterConfig.ultra5(num_nodes=args.nodes)
+    summaries: List[Dict[str, Any]] = []
 
     if args.command == "chaos":
         from .chaoscmd import run_chaos
@@ -145,24 +210,43 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return run_analyze(args)
 
+    if args.command == "timeline":
+        from .obscmd import run_timeline
+
+        return run_timeline(args, config)
+
+    if args.command == "critical-path":
+        from .obscmd import run_critical_path
+
+        return run_critical_path(args, config)
+
+    if args.command == "compare":
+        from .obscmd import run_compare
+
+        return run_compare(args)
+
     if args.command in ("table1", "all"):
-        print(render_table1(args.apps))
-        print()
+        con.result(render_table1(args.apps))
+        con.result("")
 
     if args.command == "ablation":
         from .ablations import run_ablation
 
         text, _points = run_ablation(args.which, config, jobs=args.jobs)
-        print(text)
+        con.result(text)
         return 0
 
     if args.command == "perf":
-        from .perf import run_perf_suite, write_perf_json
+        from .perf import append_perf_history, run_perf_suite, write_perf_json
 
         report = run_perf_suite(apps=args.apps, repeat=args.repeat)
         path = args.out or "BENCH_perf.json"
         write_perf_json(report, path)
-        print(f"perf report written to {path}")
+        con.info(f"perf report written to {path}")
+        entry = append_perf_history(report, args.history)
+        con.info(f"perf history appended to {args.history} "
+                 f"(rev {entry['git_rev']})")
+        con.emit("perf", entry)
         return 0
 
     if args.command in ("table2", "fig4", "all"):
@@ -176,12 +260,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         comparisons = parallel_map(logging_comparison_task, specs, jobs=args.jobs)
         if args.command in ("table2", "all"):
             for cmp in comparisons:
-                print(render_table2_panel(cmp))
-                print()
+                con.result(render_table2_panel(cmp))
+                con.result("")
         if args.command in ("fig4", "all"):
-            print(render_fig4(comparisons))
+            con.result(render_fig4(comparisons))
         if args.csv:
             write_csv(fig4_rows(comparisons), f"{args.csv}_fig4.csv")
+        for cmp in comparisons:
+            for _protocol, result in sorted(cmp.results.items()):
+                summaries.append(result_summary(result))
 
     if args.command == "report":
         from .report import generate_report
@@ -191,9 +278,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write(text)
-            print(f"report written to {args.out}")
+            con.info(f"report written to {args.out}")
         else:
-            print(text)
+            con.result(text)
 
     if args.command == "breakdown":
         from .breakdown import render_breakdown
@@ -203,8 +290,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             result, _system = run_application(
                 name, args.protocol, config, args.scale
             )
-            print(render_breakdown(result))
-            print()
+            con.result(render_breakdown(result))
+            con.result("")
+            summaries.append(result_summary(result))
 
     if args.command in ("fig5", "all"):
         specs = [
@@ -215,8 +303,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             for name in args.apps
         ]
         recoveries = parallel_map(recovery_comparison_task, specs, jobs=args.jobs)
-        print(render_fig5(recoveries))
+        con.result(render_fig5(recoveries))
         if args.csv:
             write_csv(fig5_rows(recoveries), f"{args.csv}_fig5.csv")
+        for rec in recoveries:
+            summaries.append({
+                "app": rec.app_name,
+                "protocol": "recovery",
+                "reexecution_s": rec.reexecution_s,
+                "ml_recovery_s": rec.ml.recovery_time,
+                "ccl_recovery_s": rec.ccl.recovery_time,
+            })
 
+    _write_run_bundle(args, config, summaries)
     return 0

@@ -23,6 +23,7 @@ virtual time only.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -50,6 +51,7 @@ __all__ = [
     "run_app_benchmarks",
     "check_kernels",
     "write_perf_json",
+    "append_perf_history",
 ]
 
 #: Page size the diff kernels are benchmarked at (the simulator default).
@@ -321,3 +323,37 @@ def write_perf_json(report: Dict[str, Any], path: str) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def append_perf_history(
+    report: Dict[str, Any],
+    path: str = "benchmark_results/history.jsonl",
+) -> Dict[str, Any]:
+    """Append one compact trajectory entry; returns the entry.
+
+    ``history.jsonl`` is the committed perf record: one line per
+    ``repro perf`` run with the timestamp, git revision, and the
+    headline numbers (kernel ns/op and app wall times), so regressions
+    show up as a diff in review instead of vanishing with the runner.
+    """
+    from ..obs.artifacts import git_rev
+
+    entry: Dict[str, Any] = {
+        "schema": 1,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": git_rev(),
+        "python": report.get("python"),
+        "numpy": report.get("numpy"),
+        "kernels_ns_per_op": {
+            name: row["ns_per_op"]
+            for name, row in report.get("kernels", {}).items()
+            if row.get("ns_per_op") is not None
+        },
+        "apps_wall_s": dict(report.get("apps_wall_s", {})),
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry

@@ -1,0 +1,51 @@
+"""Observability: causal spans, exporters, metrics, run artifacts.
+
+The telemetry layer on top of :mod:`repro.sim.trace`'s span/edge
+substrate:
+
+* :mod:`repro.obs.critical` -- causal critical-path extraction and the
+  flush/communication overlap metric (the paper's central claim,
+  measured directly);
+* :mod:`repro.obs.export` -- Chrome trace-event / Perfetto JSON
+  timelines from a recorded trace;
+* :mod:`repro.obs.metrics` -- a typed metrics registry
+  (counters/gauges/histograms) with Prometheus text rendering;
+* :mod:`repro.obs.artifacts` -- per-run ``runs/<id>/manifest.json``
+  bundles, bundle loading, and bundle diffing for ``repro compare``;
+* :mod:`repro.obs.console` -- the harness's console output layer
+  (``--quiet`` / ``--json``).
+
+Everything here is read-only over a finished run: recording stays in
+the simulator layer, gated on ``Tracer.enabled``, so that tracing off
+remains byte-identical to the pre-telemetry behaviour.
+"""
+
+from .artifacts import (
+    compare_bundles,
+    git_rev,
+    load_bundle,
+    render_compare,
+    write_bundle,
+)
+from .console import Console, get_console
+from .critical import critical_path, flush_overlap, render_overlap, summarize_path
+from .export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Console",
+    "get_console",
+    "MetricsRegistry",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "critical_path",
+    "summarize_path",
+    "flush_overlap",
+    "render_overlap",
+    "git_rev",
+    "write_bundle",
+    "load_bundle",
+    "compare_bundles",
+    "render_compare",
+]

@@ -1,0 +1,86 @@
+"""Console output for the harness CLI (``--quiet`` / ``--json``).
+
+Every user-facing line the harness produces goes through the process
+:class:`Console` instead of bare ``print()`` (enforced by lint rule
+OBS001).  Three channels:
+
+* :meth:`Console.result` -- primary artefact text (tables, reports).
+  Printed normally; under ``--json`` it is buffered and emitted inside
+  the final JSON document instead.
+* :meth:`Console.info` -- progress and diagnostics.  Suppressed by
+  ``--quiet`` and by ``--json``.
+* :meth:`Console.emit` -- structured payloads keyed by name; only
+  rendered (as JSON) under ``--json``.
+
+``main()`` calls :meth:`Console.finish` once at the end so JSON mode
+produces exactly one document on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+__all__ = ["Console", "get_console", "configure"]
+
+
+class Console:
+    """One process's output sink with quiet/JSON modes."""
+
+    def __init__(self, quiet: bool = False, json_mode: bool = False):
+        self.quiet = quiet
+        self.json_mode = json_mode
+        self._lines: List[str] = []
+        self._data: Dict[str, Any] = {}
+
+    # -- channels ------------------------------------------------------
+    def result(self, text: Any = "") -> None:
+        """Primary output: always shown (buffered under ``--json``)."""
+        if self.json_mode:
+            self._lines.append(str(text))
+        else:
+            print(text)
+
+    def info(self, text: Any = "") -> None:
+        """Progress/diagnostic output: dropped by --quiet and --json."""
+        if not self.quiet and not self.json_mode:
+            print(text)
+
+    def error(self, text: Any = "") -> None:
+        """Failure output: always shown, on stderr in text modes."""
+        if self.json_mode:
+            self._lines.append(str(text))
+        else:
+            print(text, file=sys.stderr)
+
+    def emit(self, key: str, value: Any) -> None:
+        """Attach a structured payload to the ``--json`` document."""
+        self._data[key] = value
+
+    # -- lifecycle -----------------------------------------------------
+    def finish(self) -> None:
+        """Flush the JSON document (no-op in text modes)."""
+        if not self.json_mode:
+            return
+        doc = dict(self._data)
+        doc["output"] = self._lines
+        print(json.dumps(doc, indent=2, sort_keys=True, default=str))
+        self._lines = []
+        self._data = {}
+
+
+#: Process-wide console; the CLI reconfigures it from parsed flags.
+_CONSOLE = Console()
+
+
+def get_console() -> Console:
+    """The process-wide console instance."""
+    return _CONSOLE
+
+
+def configure(quiet: bool = False, json_mode: bool = False) -> Console:
+    """Set the process console's modes (returns it for convenience)."""
+    _CONSOLE.quiet = quiet
+    _CONSOLE.json_mode = json_mode
+    return _CONSOLE

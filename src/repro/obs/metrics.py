@@ -1,0 +1,204 @@
+"""Typed metrics registry with Prometheus text rendering.
+
+:class:`MetricsRegistry` subsumes the ad-hoc :class:`~repro.sim.stats.Counter`
+tallies scattered across the protocol layers with three typed metric
+kinds:
+
+* **counter** -- monotone totals (``repro_page_faults_total``);
+* **gauge** -- point-in-time values (``repro_run_time_seconds``);
+* **histogram** -- bucketed distributions (span durations).
+
+:meth:`MetricsRegistry.from_run` snapshots one finished
+:class:`~repro.dsm.system.RunResult` (plus, optionally, its trace) into
+a registry; :meth:`MetricsRegistry.render_prometheus` emits the
+standard text exposition format and :meth:`MetricsRegistry.snapshot` a
+JSON-safe dict for the run manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Histogram bucket bounds for virtual-second durations (sim times are
+#: micro- to milli-second scale at the paper's parameters).
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _fmt_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """One named metric family (all label combinations)."""
+
+    def __init__(self, name: str, mtype: str, help_text: str,
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.mtype = mtype
+        self.help = help_text
+        self.buckets = tuple(buckets) if buckets else None
+        #: scalar metrics: labels -> value;
+        #: histograms: labels -> [counts per bucket + inf, sum, count]
+        self.samples: Dict[LabelKey, Any] = {}
+
+
+class MetricsRegistry:
+    """A typed collection of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- recording -----------------------------------------------------
+    def _family(self, name: str, mtype: str, help_text: str,
+                buckets: Optional[Sequence[float]] = None) -> _Metric:
+        m = self._metrics.get(name)
+        if m is None:
+            m = _Metric(name, mtype, help_text, buckets)
+            self._metrics[name] = m
+        elif m.mtype != mtype:
+            raise ValueError(
+                f"metric {name!r} is a {m.mtype}, re-registered as {mtype}"
+            )
+        return m
+
+    def counter(self, name: str, value: float = 1.0, help_text: str = "",
+                **labels: Any) -> None:
+        """Add ``value`` to a monotone counter."""
+        m = self._family(name, "counter", help_text)
+        key = _label_key(labels)
+        m.samples[key] = m.samples.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, help_text: str = "",
+              **labels: Any) -> None:
+        """Set a gauge to ``value``."""
+        m = self._family(name, "gauge", help_text)
+        m.samples[_label_key(labels)] = float(value)
+
+    def observe(self, name: str, value: float, help_text: str = "",
+                buckets: Sequence[float] = DEFAULT_BUCKETS,
+                **labels: Any) -> None:
+        """Record one observation into a histogram."""
+        m = self._family(name, "histogram", help_text, buckets)
+        key = _label_key(labels)
+        state = m.samples.get(key)
+        if state is None:
+            state = {"buckets": [0] * (len(m.buckets) + 1),
+                     "sum": 0.0, "count": 0}
+            m.samples[key] = state
+        for i, bound in enumerate(m.buckets):
+            if value <= bound:
+                state["buckets"][i] += 1
+        state["buckets"][-1] += 1  # +Inf
+        state["sum"] += value
+        state["count"] += 1
+
+    def get(self, name: str, **labels: Any) -> Any:
+        """Current value of one sample (None when absent)."""
+        m = self._metrics.get(name)
+        if m is None:
+            return None
+        return m.samples.get(_label_key(labels))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- export --------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Standard Prometheus text exposition of every metric."""
+        out: List[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.help:
+                out.append(f"# HELP {name} {m.help}")
+            out.append(f"# TYPE {name} {m.mtype}")
+            for key in sorted(m.samples):
+                if m.mtype != "histogram":
+                    out.append(f"{name}{_fmt_labels(key)} {m.samples[key]:g}")
+                    continue
+                state = m.samples[key]
+                assert m.buckets is not None
+                for i, bound in enumerate(m.buckets):
+                    le = _fmt_labels(key, [("le", f"{bound:g}")])
+                    out.append(f"{name}_bucket{le} {state['buckets'][i]}")
+                inf = _fmt_labels(key, [("le", "+Inf")])
+                out.append(f"{name}_bucket{inf} {state['buckets'][-1]}")
+                out.append(f"{name}_sum{_fmt_labels(key)} {state['sum']:g}")
+                out.append(f"{name}_count{_fmt_labels(key)} {state['count']}")
+        return "\n".join(out) + ("\n" if out else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump (type, help, and every labelled sample)."""
+        doc: Dict[str, Any] = {}
+        for name, m in sorted(self._metrics.items()):
+            doc[name] = {
+                "type": m.mtype,
+                "help": m.help,
+                "samples": [
+                    {"labels": dict(key), "value": value}
+                    for key, value in sorted(m.samples.items())
+                ],
+            }
+            if m.buckets is not None:
+                doc[name]["buckets"] = list(m.buckets)
+        return doc
+
+    # -- construction from a finished run ------------------------------
+    @classmethod
+    def from_run(cls, result: Any, tracer: Any = None) -> "MetricsRegistry":
+        """Snapshot a :class:`~repro.dsm.system.RunResult` (and trace).
+
+        Subsumes the per-node ``Counter`` tallies and ``TimeBreakdown``
+        buckets under typed, labelled metric families; with a trace,
+        adds span-duration histograms per category.
+        """
+        reg = cls()
+        reg.gauge("repro_run_time_seconds", result.total_time,
+                  help_text="virtual wall time of the run",
+                  app=result.app_name, protocol=result.protocol)
+        reg.gauge("repro_run_completed", 1.0 if result.completed else 0.0,
+                  help_text="1 when the run finished, 0 when it stalled")
+        for kind, nbytes in sorted(result.bytes_by_kind.items()):
+            reg.counter("repro_network_bytes_total", nbytes,
+                        help_text="wire bytes sent, by message kind",
+                        kind=kind)
+        reg.counter("repro_network_messages_total", result.network_msgs,
+                    help_text="messages sent across all nodes")
+        for stats in result.node_stats:
+            for key, value in sorted(stats.counters.items()):
+                reg.counter(f"repro_{key}_total", value,
+                            help_text="protocol event counter",
+                            node=stats.node_id)
+            for cat in stats.time:
+                reg.counter("repro_time_seconds_total", stats.time.get(cat),
+                            help_text="virtual seconds by breakdown bucket",
+                            node=stats.node_id, category=cat)
+        for summary in result.log_summaries:
+            for key, value in sorted(summary.items()):
+                if isinstance(value, (int, float)):
+                    reg.counter(f"repro_log_{key}_total", value,
+                                help_text="stable-log statistic")
+        if tracer is not None:
+            reg.gauge("repro_trace_events", len(tracer.events),
+                      help_text="recorded point events")
+            reg.gauge("repro_trace_spans", len(tracer.spans),
+                      help_text="recorded causal spans")
+            reg.gauge("repro_trace_edges", len(tracer.edges),
+                      help_text="recorded message edges")
+            for span in tracer.spans:
+                if span.t1 >= 0:
+                    reg.observe("repro_span_duration_seconds", span.duration,
+                                help_text="span durations by category",
+                                cat=span.cat)
+        return reg

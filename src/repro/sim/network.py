@@ -51,6 +51,9 @@ class NetMessage:
     #: Per-link sequence number stamped by the reliable transport;
     #: -1 means unsequenced (fire-and-forget traffic like heartbeats).
     seq: int = field(default=-1, compare=False)
+    #: Causal-edge id stamped by the network when tracing is on; the
+    #: server loop uses it to link handler spans to the inbound message.
+    obs_eid: int = field(default=-1, compare=False)
 
 
 class Network:
@@ -85,6 +88,9 @@ class Network:
         #: hook returning True has consumed the frame (dedup, buffering)
         #: and keeps it out of the destination mailbox.
         self.deliver_hook: Optional[Callable[[NetMessage], bool]] = None
+        #: Optional tracer (set by DsmSystem); when enabled, every post
+        #: stamps a send->recv MsgEdge so runs yield a causal DAG.
+        self.tracer: Optional[Any] = None
         self._nics = [FifoServer(sim, f"nic{i}") for i in range(num_nodes)]
         self._mailboxes = [Mailbox(sim, f"mbox{i}") for i in range(num_nodes)]
         self.bytes_sent: List[int] = [0] * num_nodes
@@ -122,6 +128,9 @@ class Network:
         self.msgs_sent[msg.src] += 1
         self.bytes_by_kind[msg.kind] = self.bytes_by_kind.get(msg.kind, 0) + wire
         self.msgs_by_kind[msg.kind] = self.msgs_by_kind.get(msg.kind, 0) + 1
+        if self.tracer is not None and self.tracer.enabled:
+            msg.obs_eid = self.tracer.edge_send(
+                self.sim.now, msg.src, msg.dst, msg.kind, wire)
 
         tx_done = self._nics[msg.src].request(self.config.transfer_time(wire))
         delivered = Signal(f"net.{msg.kind}.{msg.src}->{msg.dst}")
@@ -156,6 +165,8 @@ class Network:
     def _deliver(self, msg: NetMessage, delivered: Signal) -> None:
         """Final hop: hand the frame to the receiver (or the transport)."""
         msg.delivered_at = self.sim.now
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.edge_recv(msg.obs_eid, self.sim.now)
         hook = self.deliver_hook
         if hook is None or not hook(msg):
             self._mailboxes[msg.dst].put(msg)

@@ -15,6 +15,22 @@ trip through JSON Lines via :meth:`Tracer.to_jsonl` /
 The legacy scalar events (``acquire``/``release``/``barrier``/``seal``/
 ``fault`` with a bare id as detail) are retained unchanged; the
 structured schema is additive.
+
+Beyond point events, the tracer also records **causal spans** and
+**message edges** (the ``repro.obs`` telemetry substrate):
+
+* a :class:`Span` is a named, categorised ``[t0, t1]`` activity on one
+  node's *strand* (``main`` for the application process, ``server`` for
+  the protocol handler loop, ``disk`` for in-flight log flushes), with a
+  parent span id, forming a per-strand tree;
+* a :class:`MsgEdge` is one network message's send->receive hop,
+  stamped by the network layer on every DSM message.
+
+Together they form the causal DAG a run's wall time decomposes over:
+spans nest within a strand, edges connect strands across nodes.  The
+critical-path extractor (:mod:`repro.obs.critical`) walks exactly this
+structure.  All span/edge recording is gated on :attr:`Tracer.enabled`
+like events, so tracing off stays one predicted branch.
 """
 
 from __future__ import annotations
@@ -22,9 +38,9 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Ev", "TraceEvent", "Tracer"]
+__all__ = ["Ev", "TraceEvent", "Span", "MsgEdge", "Tracer"]
 
 
 class Ev:
@@ -124,6 +140,80 @@ class TraceEvent:
         return cls(obj["t"], obj["n"], obj["e"], obj.get("d"))
 
 
+@dataclass
+class Span:
+    """One named activity interval on a node's strand.
+
+    ``t1 < 0`` marks a span still open (ended by a crash, or a disk
+    flush whose completion outlived the run).  ``parent`` is the id of
+    the enclosing span on the same strand, or -1 for a root.  ``cat``
+    is the coarse category the critical-path extractor attributes time
+    to: ``cpu``, ``sync``, ``wait``, ``disk``, or ``handler``.
+    """
+
+    sid: int
+    parent: int
+    node: int
+    strand: str
+    name: str
+    cat: str
+    t0: float
+    t1: float = -1.0
+    detail: Any = None
+
+    @property
+    def duration(self) -> float:
+        """Closed-span length (0.0 while the span is still open)."""
+        return self.t1 - self.t0 if self.t1 >= 0 else 0.0
+
+    def to_json(self) -> str:
+        """Encode as one JSON Lines record (key ``s`` tags the type)."""
+        return json.dumps(
+            {"s": self.sid, "p": self.parent, "n": self.node,
+             "st": self.strand, "nm": self.name, "c": self.cat,
+             "t0": self.t0, "t1": self.t1, "d": self.detail},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Span":
+        return cls(obj["s"], obj["p"], obj["n"], obj["st"], obj["nm"],
+                   obj["c"], obj["t0"], obj["t1"], obj.get("d"))
+
+
+@dataclass
+class MsgEdge:
+    """One message's send->receive hop (the DAG's cross-node edges).
+
+    ``t_recv < 0`` marks a message never delivered (dropped by fault
+    injection, or in flight when the run ended).  Duplicate deliveries
+    keep the first arrival time, matching the signal semantics of
+    :meth:`repro.sim.network.Network._deliver`.
+    """
+
+    eid: int
+    src: int
+    dst: int
+    kind: str
+    size: int
+    t_send: float
+    t_recv: float = -1.0
+
+    def to_json(self) -> str:
+        """Encode as one JSON Lines record (key ``ei`` tags the type)."""
+        return json.dumps(
+            {"ei": self.eid, "src": self.src, "dst": self.dst,
+             "k": self.kind, "sz": self.size,
+             "ts": self.t_send, "tr": self.t_recv},
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "MsgEdge":
+        return cls(obj["ei"], obj["src"], obj["dst"], obj["k"], obj["sz"],
+                   obj["ts"], obj["tr"])
+
+
 class Tracer:
     """Append-only trace buffer with simple filtering helpers.
 
@@ -142,6 +232,12 @@ class Tracer:
         else:
             self.events = deque(maxlen=maxlen)  # type: ignore[assignment]
         self.dropped = 0
+        #: Causal spans, in begin order; a span's id is its list index.
+        self.spans: List[Span] = []
+        #: Message edges, in send order; an edge's id is its list index.
+        self.edges: List[MsgEdge] = []
+        #: Open-span stack per (node, strand), for parent assignment.
+        self._stacks: Dict[Tuple[int, str], List[int]] = {}
 
     def record(self, time: float, node: int, event: str, detail: Any = None) -> None:
         """Record an event if tracing is enabled."""
@@ -149,6 +245,64 @@ class Tracer:
             if self.maxlen is not None and len(self.events) == self.maxlen:
                 self.dropped += 1
             self.events.append(TraceEvent(time, node, event, detail))
+
+    # ------------------------------------------------------------------
+    # causal spans and message edges
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        time: float,
+        node: int,
+        name: str,
+        cat: str,
+        strand: str = "main",
+        detail: Any = None,
+        parent: Optional[int] = None,
+    ) -> int:
+        """Open a span; returns its id (-1 when tracing is disabled).
+
+        The parent defaults to the innermost open span on the same
+        ``(node, strand)``; pass ``parent`` to attach elsewhere (e.g. a
+        disk-strand flush span parented to the sealing release).
+        """
+        if not self.enabled:
+            return -1
+        stack = self._stacks.setdefault((node, strand), [])
+        if parent is None:
+            parent = stack[-1] if stack else -1
+        sid = len(self.spans)
+        self.spans.append(Span(sid, parent, node, strand, name, cat, time,
+                               detail=detail))
+        stack.append(sid)
+        return sid
+
+    def end(self, sid: int, time: float) -> None:
+        """Close a span opened by :meth:`begin` (no-op for sid < 0)."""
+        # bounds check: a flush-completion callback may fire after clear()
+        if sid < 0 or sid >= len(self.spans) or not self.enabled:
+            return
+        span = self.spans[sid]
+        span.t1 = time
+        stack = self._stacks.get((span.node, span.strand))
+        if stack and sid in stack:
+            stack.remove(sid)
+
+    def edge_send(self, time: float, src: int, dst: int, kind: str,
+                  size: int) -> int:
+        """Record a message leaving ``src``; returns the edge id (-1 off)."""
+        if not self.enabled:
+            return -1
+        eid = len(self.edges)
+        self.edges.append(MsgEdge(eid, src, dst, kind, size, time))
+        return eid
+
+    def edge_recv(self, eid: int, time: float) -> None:
+        """Record the first delivery of edge ``eid`` (no-op for eid < 0)."""
+        if eid < 0 or eid >= len(self.edges) or not self.enabled:
+            return
+        edge = self.edges[eid]
+        if edge.t_recv < 0:
+            edge.t_recv = time
 
     def filter(self, event: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
         """Events matching the given event name and/or node."""
@@ -160,9 +314,12 @@ class Tracer:
         return list(out)
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events, spans, and edges."""
         self.events.clear()
         self.dropped = 0
+        self.spans.clear()
+        self.edges.clear()
+        self._stacks.clear()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -171,8 +328,16 @@ class Tracer:
     # offline (de)serialisation
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:
-        """Encode the whole trace as JSON Lines (one event per line)."""
-        return "\n".join(e.to_json() for e in self.events)
+        """Encode the whole trace as JSON Lines.
+
+        Events first (legacy layout, so pre-span tooling keeps working),
+        then spans, then edges; each record type is distinguished by its
+        tag key (``e`` / ``s`` / ``ei``).
+        """
+        lines = [e.to_json() for e in self.events]
+        lines.extend(s.to_json() for s in self.spans)
+        lines.extend(m.to_json() for m in self.edges)
+        return "\n".join(lines)
 
     @classmethod
     def from_jsonl(cls, text: str, maxlen: Optional[int] = None) -> "Tracer":
@@ -180,8 +345,16 @@ class Tracer:
         tracer = cls(enabled=False, maxlen=maxlen)
         for line in text.splitlines():
             line = line.strip()
-            if line:
-                tracer.events.append(TraceEvent.from_json(line))
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "e" in obj:
+                tracer.events.append(TraceEvent(obj["t"], obj["n"],
+                                                obj["e"], obj.get("d")))
+            elif "ei" in obj:
+                tracer.edges.append(MsgEdge.from_obj(obj))
+            else:
+                tracer.spans.append(Span.from_obj(obj))
         return tracer
 
     def save(self, path: str) -> int:

@@ -145,6 +145,38 @@ class TestDet001:
         """) == []
 
 
+class TestObs001:
+    def test_bare_print_flagged(self):
+        assert codes("""
+            def report(x):
+                print(x)
+        """) == ["OBS001"]
+
+    def test_console_module_is_exempt(self):
+        findings = lint_source("print('ok')\n", "src/repro/obs/console.py")
+        assert findings == []
+
+    def test_console_calls_are_fine(self):
+        assert codes("""
+            from repro.obs.console import get_console
+            def report(x):
+                get_console().result(x)
+        """) == []
+
+    def test_shadowed_print_attribute_not_flagged(self):
+        # obj.print(...) is a method call, not the builtin
+        assert codes("""
+            def report(log, x):
+                log.print(x)
+        """) == []
+
+    def test_suppressible_like_every_rule(self):
+        assert codes("""
+            def debug(x):
+                print(x)  # lint: ignore
+        """) == []
+
+
 class TestHarness:
     def test_suppression_marker(self):
         assert codes("""

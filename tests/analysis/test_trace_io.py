@@ -1,6 +1,6 @@
 """Tracer serialization: JSONL round-trip and the bounded buffer."""
 
-from repro.sim.trace import Ev, TraceEvent, Tracer
+from repro.sim.trace import Ev, MsgEdge, Span, TraceEvent, Tracer
 
 
 def _sample_tracer() -> Tracer:
@@ -34,6 +34,80 @@ class TestJsonlRoundTrip:
         t = _sample_tracer()
         back = Tracer.from_jsonl("\n" + t.to_jsonl() + "\n\n")
         assert len(back) == 3
+
+
+def _span_tracer() -> Tracer:
+    """Events (legacy scalar + structured), spans, and edges together."""
+    t = _sample_tracer()
+    outer = t.begin(0.0, 0, "barrier", "sync")
+    inner = t.begin(0.25, 0, "diff_wait", "wait")  # nested on main strand
+    flush = t.begin(0.5, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "async", "interval": 2})
+    eid = t.edge_send(0.25, 0, 1, "diff", 4096)
+    t.edge_recv(eid, 0.75)
+    t.end(flush, 1.0)
+    t.end(inner, 1.2)
+    t.end(outer, 1.5)
+    t.begin(2.0, 1, "compute", "cpu")  # left open (crash cut-off)
+    t.edge_send(2.5, 1, 0, "lock_req", 64)  # never delivered
+    return t
+
+
+class TestSpanEdgeRoundTrip:
+    def test_spans_and_edges_survive(self):
+        t = _span_tracer()
+        back = Tracer.from_jsonl(t.to_jsonl())
+        assert back.spans == t.spans
+        assert back.edges == t.edges
+        assert list(back.events) == list(t.events)
+
+    def test_parenthood_and_open_state_preserved(self):
+        back = Tracer.from_jsonl(_span_tracer().to_jsonl())
+        outer, inner, flush, open_span = back.spans
+        assert inner.parent == outer.sid  # same-strand nesting
+        assert outer.parent == -1
+        assert flush.parent == -1  # disk strand has its own stack
+        assert open_span.t1 < 0  # never closed
+        assert flush.detail == {"mode": "async", "interval": 2}
+
+    def test_undelivered_edge_keeps_negative_recv(self):
+        back = Tracer.from_jsonl(_span_tracer().to_jsonl())
+        delivered, pending = back.edges
+        assert delivered.t_recv == 0.75
+        assert pending.t_recv < 0
+
+    def test_save_load_mixed(self, tmp_path):
+        t = _span_tracer()
+        path = tmp_path / "trace.jsonl"
+        t.save(str(path))
+        back = Tracer.load(str(path))
+        assert (back.spans, back.edges) == (t.spans, t.edges)
+
+    def test_len_counts_events_only(self):
+        assert len(_span_tracer()) == 3
+
+    def test_clear_resets_spans_edges_and_stacks(self):
+        t = _span_tracer()
+        t.clear()
+        assert not t.spans and not t.edges and len(t) == 0
+        sid = t.begin(0.0, 0, "fresh", "cpu")
+        assert t.spans[sid].parent == -1  # stale stacks would parent this
+
+    def test_disabled_tracer_records_no_spans(self):
+        t = Tracer(enabled=False)
+        sid = t.begin(0.0, 0, "x", "cpu")
+        assert sid == -1
+        t.end(sid, 1.0)
+        assert t.edge_send(0.0, 0, 1, "diff", 10) == -1
+        assert not t.spans and not t.edges
+
+    def test_from_obj_dispatch(self):
+        import json
+
+        span = Span(0, -1, 3, "main", "acquire", "sync", 1.0, 2.0)
+        assert Span.from_obj(json.loads(span.to_json())) == span
+        edge = MsgEdge(0, 1, 2, "diff", 128, 0.5, 0.75)
+        assert MsgEdge.from_obj(json.loads(edge.to_json())) == edge
 
 
 class TestBoundedBuffer:

@@ -47,7 +47,22 @@ def test_render_contains_header_and_all_row(result):
 def test_cli_breakdown_command(capsys):
     assert main(
         ["breakdown", "--apps", "sor", "--scale", "test", "--nodes", "4",
-         "--protocol", "ml"]
+         "--protocol", "ml", "--no-artifacts"]
     ) == 0
     out = capsys.readouterr().out
     assert "Execution breakdown" in out and "'ml'" in out
+
+
+def test_aggregate_row_is_the_merge_of_node_rows(result):
+    """The ALL row must equal Counter.merge / TimeBreakdown.merge of
+    every node: breakdown_rows reports sums, not averages."""
+    rows = breakdown_rows(result)
+    node_rows, all_row = rows[:-1], rows[-1]
+    for counter in ("page_faults", "diffs_created", "barriers"):
+        assert all_row[counter] == pytest.approx(
+            sum(r[counter] for r in node_rows)
+        )
+    for bucket in ("compute", "sync", "fault"):
+        assert all_row[bucket] == pytest.approx(
+            sum(r[bucket] for r in node_rows)
+        )

@@ -1,0 +1,52 @@
+"""Chaos failures dump a telemetry bundle next to the repro command."""
+
+import argparse
+
+from repro.core.chaos import ChaosCase, ChaosReport
+from repro.harness.chaoscmd import _dump_failure_bundles, _factories
+from repro.config import ClusterConfig
+from repro.obs.artifacts import load_bundle
+from repro.sim.trace import Tracer
+
+
+def _args(tmp_path) -> argparse.Namespace:
+    return argparse.Namespace(
+        drop=0.08, dup=0.08, delay_rate=0.12, reorder=0.12,
+        runs_dir=str(tmp_path),
+    )
+
+
+def _failing_case(seed: int = 3) -> ChaosCase:
+    return ChaosCase(
+        app="sor", protocol="ccl", seed=seed, crash_node=1,
+        crash_time=0.01, stop_at=2, live_kill=False, ok=False,
+        detail="state mismatch", mismatches=["page 3 contents"],
+        repro_extra="--scale test --nodes 4",
+    )
+
+
+def test_failure_dump_writes_traced_bundle(tmp_path, capsys):
+    report = ChaosReport(cases=[_failing_case()])
+    config = ClusterConfig.ultra5(num_nodes=4)
+    _dump_failure_bundles(report, _factories(["sor"], "test"), config,
+                          _args(tmp_path))
+    out = capsys.readouterr().out
+    assert "telemetry bundle for seed 3" in out
+    (bundle,) = list(tmp_path.iterdir())
+    manifest = load_bundle(str(bundle))
+    assert manifest["command"] == "chaos-failure"
+    assert manifest["case"]["seed"] == 3
+    assert "--seed 3" in manifest["repro_command"]
+    # the re-run was traced: the causal spans are preserved on disk
+    tracer = Tracer.load(str(bundle / manifest["trace_file"]))
+    assert tracer.spans and tracer.edges
+
+
+def test_bundles_capped_and_deduped(tmp_path, capsys):
+    # 5 failing crash instants of the same execution -> one bundle
+    cases = [_failing_case(seed=7) for _ in range(5)]
+    report = ChaosReport(cases=cases)
+    config = ClusterConfig.ultra5(num_nodes=4)
+    _dump_failure_bundles(report, _factories(["sor"], "test"), config,
+                          _args(tmp_path))
+    assert len(list(tmp_path.iterdir())) == 1

@@ -1,0 +1,61 @@
+"""The console layer: quiet/JSON modes and the process singleton."""
+
+import json
+
+from repro.obs.console import Console, configure, get_console
+
+
+class TestTextMode:
+    def test_result_and_info_print(self, capsys):
+        con = Console()
+        con.result("table")
+        con.info("progress")
+        assert capsys.readouterr().out == "table\nprogress\n"
+
+    def test_error_goes_to_stderr(self, capsys):
+        Console().error("boom")
+        captured = capsys.readouterr()
+        assert captured.err == "boom\n" and captured.out == ""
+
+    def test_finish_is_a_noop(self, capsys):
+        con = Console()
+        con.emit("key", {"x": 1})
+        con.finish()
+        assert capsys.readouterr().out == ""
+
+
+class TestQuiet:
+    def test_info_suppressed_result_kept(self, capsys):
+        con = Console(quiet=True)
+        con.result("table")
+        con.info("progress")
+        assert capsys.readouterr().out == "table\n"
+
+
+class TestJsonMode:
+    def test_one_document_with_buffered_output(self, capsys):
+        con = Console(json_mode=True)
+        con.result("line one")
+        con.info("dropped")
+        con.emit("metrics", {"n": 2})
+        con.finish()
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"metrics": {"n": 2}, "output": ["line one"]}
+
+    def test_finish_resets_state(self, capsys):
+        con = Console(json_mode=True)
+        con.result("a")
+        con.finish()
+        capsys.readouterr()
+        con.finish()
+        assert json.loads(capsys.readouterr().out) == {"output": []}
+
+
+class TestSingleton:
+    def test_configure_mutates_the_shared_console(self):
+        con = configure(quiet=True)
+        try:
+            assert get_console() is con and get_console().quiet
+        finally:
+            configure()  # restore defaults for other tests
+        assert not get_console().quiet

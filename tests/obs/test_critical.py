@@ -1,0 +1,152 @@
+"""Critical-path extraction and the flush/communication overlap metric."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.obs.critical import (
+    critical_path,
+    flush_overlap,
+    render_overlap,
+    render_path,
+    summarize_path,
+)
+from repro.sim.trace import Tracer
+
+
+def _cross_node_tracer() -> Tracer:
+    """Node 1 computes until t=2, sends a grant that node 0 waits on."""
+    t = Tracer(enabled=True)
+    c0 = t.begin(0.0, 0, "compute", "cpu")
+    t.end(c0, 1.0)
+    c1 = t.begin(0.0, 1, "compute", "cpu")
+    t.end(c1, 2.0)
+    eid = t.edge_send(2.0, 1, 0, "lock_grant", 64)
+    t.edge_recv(eid, 3.0)
+    w = t.begin(1.0, 0, "lock_wait", "wait", detail={"eid": eid})
+    t.end(w, 3.0)
+    return t
+
+
+class TestCriticalPath:
+    def test_walk_jumps_through_the_message_edge(self):
+        path = critical_path(_cross_node_tracer())
+        assert [(s.node, s.cat) for s in path] == [
+            (1, "cpu"),   # the sender's compute bounds the run
+            (1, "net"),   # the grant's flight time
+        ]
+        assert path[0].duration == pytest.approx(2.0)
+        assert path[-1].t1 == pytest.approx(3.0)
+
+    def test_durations_span_the_wall_time(self):
+        path = critical_path(_cross_node_tracer())
+        assert sum(s.duration for s in path) == pytest.approx(3.0)
+        assert path[-1].t1 - path[0].t0 == pytest.approx(3.0)
+
+    def test_wait_without_edge_is_attributed_to_the_wait(self):
+        t = Tracer(enabled=True)
+        w = t.begin(0.0, 0, "barrier_wait", "wait")
+        t.end(w, 1.0)
+        path = critical_path(t)
+        assert [(s.name, s.cat) for s in path] == [("barrier_wait", "wait")]
+
+    def test_empty_tracer_yields_empty_path(self):
+        assert critical_path(Tracer(enabled=True)) == []
+
+    def test_summary_and_render(self):
+        path = critical_path(_cross_node_tracer())
+        by_cat = summarize_path(path)
+        assert by_cat["cpu"] == pytest.approx(2.0)
+        assert by_cat["net"] == pytest.approx(1.0)
+        text = render_path(path)
+        assert "critical path: 2 segments" in text
+        assert "lock_grant" in text
+
+
+class TestFlushOverlap:
+    def test_async_flush_inside_wait_is_fully_hidden(self):
+        t = Tracer(enabled=True)
+        w = t.begin(1.0, 0, "diff_wait", "wait")
+        f = t.begin(1.5, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "async"})
+        t.end(f, 2.5)
+        t.end(w, 3.0)
+        report = flush_overlap(t)
+        assert report.total_flush_s == pytest.approx(1.0)
+        assert report.hidden_s == pytest.approx(1.0)
+        assert report.overlap_fraction == pytest.approx(1.0)
+
+    def test_partial_overlap_counts_the_intersection(self):
+        t = Tracer(enabled=True)
+        w = t.begin(0.0, 0, "diff_wait", "wait")
+        t.end(w, 1.0)
+        f = t.begin(0.5, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "async"})
+        t.end(f, 2.0)  # half in the wait, half exposed
+        report = flush_overlap(t)
+        assert report.hidden_s == pytest.approx(0.5)
+        assert report.overlap_fraction == pytest.approx(0.5 / 1.5)
+
+    def test_sync_flush_never_hidden(self):
+        t = Tracer(enabled=True)
+        w = t.begin(0.0, 0, "lock_wait", "wait")
+        t.end(w, 2.0)
+        f = t.begin(0.5, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "sync"})
+        t.end(f, 1.5)
+        report = flush_overlap(t)
+        assert report.hidden_s == 0.0
+        assert report.sync_flush_s == pytest.approx(1.0)
+        assert report.overlap_fraction == 0.0
+
+    def test_other_nodes_waits_do_not_hide_a_flush(self):
+        t = Tracer(enabled=True)
+        w = t.begin(0.0, 1, "diff_wait", "wait")  # node 1 waits
+        t.end(w, 2.0)
+        f = t.begin(0.5, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "async"})  # node 0 flushes
+        t.end(f, 1.5)
+        assert flush_overlap(t).hidden_s == 0.0
+
+    def test_render_reports_fraction_and_per_node(self):
+        t = Tracer(enabled=True)
+        w = t.begin(0.0, 0, "diff_wait", "wait")
+        f = t.begin(0.0, 0, "log_flush", "disk", strand="disk",
+                    detail={"mode": "async"})
+        t.end(f, 1.0)
+        t.end(w, 1.0)
+        text = render_overlap(flush_overlap(t), "ccl")
+        assert "[ccl]" in text and "overlap fraction 1.000" in text
+        assert "node 0:" in text
+
+
+class TestOnRealRuns:
+    """The paper's claim, measured: CCL hides flushes, ML cannot."""
+
+    @staticmethod
+    def _overlap(protocol: str):
+        from repro.analysis.sanitize import traced
+        from repro.harness.runner import run_application
+
+        config = ClusterConfig.ultra5(num_nodes=4)
+        with traced():
+            result, system = run_application("sor", protocol, config, "test")
+        return result, system.tracer
+
+    def test_ccl_overlap_exceeds_ml_baseline(self):
+        _, ccl_tracer = self._overlap("ccl")
+        _, ml_tracer = self._overlap("ml")
+        ccl = flush_overlap(ccl_tracer)
+        ml = flush_overlap(ml_tracer)
+        assert ccl.total_flush_s > 0 and ml.total_flush_s > 0
+        assert ml.overlap_fraction == 0.0  # sync flushes, by definition
+        assert ccl.overlap_fraction > 0.5
+        assert ccl.overlap_fraction > ml.overlap_fraction
+
+    def test_critical_path_spans_the_run(self):
+        result, tracer = self._overlap("ccl")
+        path = critical_path(tracer)
+        assert path, "traced run produced no critical path"
+        assert path[-1].t1 == pytest.approx(result.total_time)
+        assert sum(s.duration for s in path) == pytest.approx(
+            result.total_time, rel=1e-9
+        )

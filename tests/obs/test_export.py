@@ -1,0 +1,86 @@
+"""Chrome trace-event export and its schema validator."""
+
+import json
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.obs.export import (
+    STRAND_TIDS,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.sim.trace import Tracer
+
+
+def _tracer() -> Tracer:
+    t = Tracer(enabled=True)
+    s = t.begin(0.001, 0, "acquire", "sync", detail={"lock": 7})
+    t.end(s, 0.002)
+    eid = t.edge_send(0.001, 0, 1, "lock_req", 64)
+    t.edge_recv(eid, 0.0015)
+    open_sid = t.begin(0.003, 1, "compute", "cpu")
+    assert open_sid >= 0  # left open on purpose
+    return t
+
+
+class TestChromeTrace:
+    def test_complete_events_use_microseconds(self):
+        doc = chrome_trace(_tracer())
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        x = xs["acquire"]
+        assert x["pid"] == 0 and x["tid"] == STRAND_TIDS["main"]
+        assert x["ts"] == pytest.approx(1000.0)  # 0.001 s -> µs
+        assert x["dur"] == pytest.approx(1000.0)
+        assert x["args"]["lock"] == 7
+        # open spans (crash cut-off) are clamped, never negative
+        assert xs["compute"]["dur"] >= 0.0
+
+    def test_metadata_names_processes_and_threads(self):
+        doc = chrome_trace(_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name"} <= names
+
+    def test_flow_events_pair_send_and_recv(self):
+        doc = chrome_trace(_tracer())
+        starts = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        finishes = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert starts[0]["pid"] == 0 and finishes[0]["pid"] == 1
+
+    def test_validator_accepts_own_output(self):
+        assert validate_chrome_trace(chrome_trace(_tracer())) == []
+
+    def test_validator_catches_malformed_docs(self):
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "a", "pid": 0, "tid": 0,
+                              "ts": -5.0, "dur": 1.0}]}
+        )
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "s", "name": "flow", "pid": 0, "tid": 0,
+                              "ts": 0.0, "id": 1}]}
+        )  # unpaired flow
+
+    def test_write_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        write_chrome_trace(_tracer(), str(path))
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+
+class TestOnRealRun:
+    def test_traced_run_exports_valid_timeline(self):
+        from repro.analysis.sanitize import traced
+        from repro.harness.runner import run_application
+
+        config = ClusterConfig.ultra5(num_nodes=4)
+        with traced():
+            _result, system = run_application("sor", "ccl", config, "test")
+        doc = chrome_trace(system.tracer)
+        assert validate_chrome_trace(doc) == []
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == set(range(4))  # one timeline per node

@@ -1,0 +1,106 @@
+"""The typed metrics registry and its Prometheus rendering."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.harness.runner import run_application
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestRecording:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("faults_total", 2, node=0)
+        reg.counter("faults_total", 3, node=0)
+        reg.counter("faults_total", 1, node=1)
+        assert reg.get("faults_total", node=0) == 5
+        assert reg.get("faults_total", node=1) == 1
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("time_seconds", 1.0)
+        reg.gauge("time_seconds", 2.5)
+        assert reg.get("time_seconds") == 2.5
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (5e-7, 5e-5, 0.5):
+            reg.observe("dur_seconds", v, buckets=(1e-6, 1e-3, 1.0))
+        state = reg.get("dur_seconds")
+        assert state["buckets"] == [1, 2, 3, 3]  # le bounds + +Inf
+        assert state["count"] == 3
+        assert state["sum"] == pytest.approx(5e-7 + 5e-5 + 0.5)
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", 1.0)
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry().get("nope") is None
+
+
+class TestPrometheusText:
+    def test_scalar_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_faults_total", 4, help_text="page faults",
+                    node=1, app="sor")
+        text = reg.render_prometheus()
+        assert "# HELP repro_faults_total page faults" in text
+        assert "# TYPE repro_faults_total counter" in text
+        # labels are emitted sorted by key
+        assert 'repro_faults_total{app="sor",node="1"} 4' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        reg.observe("d_seconds", 0.5, buckets=(0.1, 1.0))
+        text = reg.render_prometheus()
+        assert '# TYPE d_seconds histogram' in text
+        assert 'd_seconds_bucket{le="0.1"} 0' in text
+        assert 'd_seconds_bucket{le="1"} 1' in text
+        assert 'd_seconds_bucket{le="+Inf"} 1' in text
+        assert "d_seconds_sum 0.5" in text
+        assert "d_seconds_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestSnapshotAndFromRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.analysis.sanitize import traced
+
+        config = ClusterConfig.ultra5(num_nodes=4)
+        with traced():
+            result, system = run_application("sor", "ccl", config, "test")
+        return result, system.tracer
+
+    def test_from_run_covers_headline_families(self, run):
+        result, tracer = run
+        reg = MetricsRegistry.from_run(result, tracer)
+        assert reg.get("repro_run_time_seconds", app=result.app_name,
+                       protocol=result.protocol) == result.total_time
+        assert reg.get("repro_run_completed") == 1.0
+        total = sum(s.counters.get("page_faults", 0)
+                    for s in result.node_stats)
+        per_node = sum(
+            reg.get("repro_page_faults_total", node=n) or 0
+            for n in range(4)
+        )
+        assert per_node == total
+        hist = reg.get("repro_span_duration_seconds", cat="sync")
+        assert hist is not None and hist["count"] > 0
+
+    def test_snapshot_is_json_safe_and_round_trips(self, run):
+        import json
+
+        result, tracer = run
+        reg = MetricsRegistry.from_run(result, tracer)
+        doc = json.loads(json.dumps(reg.snapshot()))
+        fam = doc["repro_span_duration_seconds"]
+        assert fam["type"] == "histogram"
+        assert fam["buckets"] == list(DEFAULT_BUCKETS)
+        assert all("labels" in s and "value" in s for s in fam["samples"])

@@ -69,7 +69,8 @@ class CoherenceCentricLogging(LoggingHooks):
 
     def bind(self, node) -> None:
         super().bind(node)
-        self.log = StableLog(node.disk)
+        self.log = StableLog(node.disk, node_id=node.id,
+                             faults=getattr(node.disk, "fault_plan", None))
         self._early_diffs: List[Diff] = []
 
     # ------------------------------------------------------------------

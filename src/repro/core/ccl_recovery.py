@@ -56,6 +56,8 @@ class CclReplayNode(ReplayNode):
 
     # ------------------------------------------------------------------
     def _begin_interval(self) -> Generator[Any, Any, None]:
+        if self.restoring:
+            return
         yield from self._boundary_read()
         notices = self.plog.select(
             NoticeLogRecord, interval=self.interval_index, window=0

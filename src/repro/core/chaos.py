@@ -35,12 +35,18 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..config import ClusterConfig
 from ..dsm.system import DsmSystem
-from ..errors import RecoveryError
-from ..sim.faults import FaultPlan
+from ..errors import (
+    LoggingProtocolError,
+    RecoveryError,
+    SimulationError,
+    StorageFaultError,
+)
+from ..sim.faults import DiskFaultPlan, FaultPlan
 from ..sim.trace import Tracer
 from .failure import CrashProbe
 from .logging_base import make_hooks_factory
 from .recovery import compare_state, replay_failed_node
+from .salvage import salvage_log
 
 __all__ = ["ChaosCase", "ChaosReport", "run_chaos_run", "run_chaos_suite"]
 
@@ -67,6 +73,8 @@ class ChaosCase:
     mismatches: List[str] = field(default_factory=list)
     #: Extra CLI flags (scale, cluster size) needed to reproduce.
     repro_extra: str = ""
+    #: Salvage-scan summary for this crash instant (disk faults only).
+    salvage: str = ""
 
     def repro_command(self) -> str:
         """One-line command reproducing exactly this case."""
@@ -140,6 +148,7 @@ def run_chaos_run(
     crash_times: Optional[List[float]] = None,
     live_kill: bool = False,
     rates: Optional[Dict[str, float]] = None,
+    disk_rates: Optional[Dict[str, float]] = None,
     sanitize: bool = False,
     app_name: Optional[str] = None,
     repro_extra: str = "",
@@ -150,10 +159,31 @@ def run_chaos_run(
     Returns ``(cases, fault_plan, transport)``.  ``crash_times`` (virtual
     seconds) overrides the seeded sampling -- the repro path for a
     reported failure.  With ``live_kill`` the victim is killed at the
-    (single) crash time instead of being probed past it.
+    (single) crash time instead of being probed past it.  ``disk_rates``
+    (``torn_tail`` / ``write_error`` / ``bitrot``) adds a seeded
+    :class:`~repro.sim.faults.DiskFaultPlan`: flushes retry transient
+    write errors, each crash instant's durable view goes through the
+    salvage scan, and recovery must then be bit-exact over the salvaged
+    log *or* fail with a diagnosed error naming the damage -- a silent
+    wrong-memory result is the only failure.
     """
     rng = _case_rng(seed)
     rates = dict(rates or DEFAULT_RATES)
+    disk_rates = {k: v for k, v in (disk_rates or {}).items() if v > 0}
+
+    def _disk_plan() -> Optional[DiskFaultPlan]:
+        # fresh per execution: write-error draws are event-ordered
+        return DiskFaultPlan.uniform(seed, **disk_rates) if disk_rates else None
+
+    def _diagnosable(exc: BaseException) -> Optional[BaseException]:
+        # errors raised inside spawned sim processes arrive wrapped in
+        # SimulationError; walk the cause chain for the storage fault
+        while exc is not None:
+            if isinstance(exc, (StorageFaultError, RecoveryError,
+                                LoggingProtocolError)):
+                return exc
+            exc = exc.__cause__
+        return None
     app = app_factory()
     if app_name is None:
         app_name = str(getattr(app, "name", type(app).__name__)).lower()
@@ -168,28 +198,53 @@ def run_chaos_run(
             make_hooks_factory(protocol),
             tracer=tracer,
             fault_plan=plan,
+            disk_fault_plan=_disk_plan(),
+        )
+
+    def diagnosed(t: float, stop_at: int, exc: Exception,
+                  salvage: str = "") -> ChaosCase:
+        # fail-fast with a named cause is a *pass* under disk faults:
+        # the contract is bit-exact or loudly refused, never silent
+        return ChaosCase(
+            app_name, protocol, seed, victim, t, stop_at,
+            live_kill, True, f"diagnosed: {exc}", repro_extra=repro_extra,
+            salvage=salvage,
         )
 
     # ---- pilot duration: a kill time must be sampled inside the run --
     kill_time: Optional[float] = None
     if live_kill:
         pilot_plan = FaultPlan.uniform(seed, **rates)
-        pilot = build(pilot_plan).run()
+        try:
+            pilot = build(pilot_plan).run()
+        except (StorageFaultError, SimulationError) as exc:
+            cause = _diagnosable(exc)
+            if not disk_rates or cause is None:
+                raise
+            return [diagnosed(0.0, 0, cause)], pilot_plan, None
         kill_time = rng.uniform(0.15, 0.85) * pilot.total_time
         if crash_times:
             kill_time = crash_times[0]
 
     plan = FaultPlan.uniform(seed, **rates)
+    disk_plan = _disk_plan()
     if kill_time is not None:
         plan.kill(victim, kill_time)
     if tracer is None and sanitize:
         tracer = Tracer(enabled=True)
     system_a = DsmSystem(
-        app, config, make_hooks_factory(protocol), tracer=tracer, fault_plan=plan
+        app, config, make_hooks_factory(protocol), tracer=tracer,
+        fault_plan=plan, disk_fault_plan=disk_plan,
     )
     probe = CrashProbe(victim, capture_all=True)
     system_a.add_probe(probe)
-    result_a = system_a.run()
+    try:
+        result_a = system_a.run()
+    except (StorageFaultError, SimulationError) as exc:
+        cause = _diagnosable(exc)
+        if disk_plan is None or cause is None:
+            raise
+        return [diagnosed(0.0, 0, cause)], plan, system_a.transport
 
     cases: List[ChaosCase] = []
 
@@ -237,7 +292,16 @@ def run_chaos_run(
 
     for t in instants:
         seals_done = sum(1 for s in probe.snapshots.values() if s.time <= t)
-        lost = log.first_lost_interval(t)
+        view = log.durable_view(t)
+        salvage_report = None
+        if disk_plan is not None and disk_plan.active:
+            view, salvage_report = salvage_log(view)
+            # salvage keeps a prefix of the full persistent sequence, so
+            # the first unreplayable interval comes straight off its count
+            lost = log.first_lost_from(salvage_report.salvaged_count)
+        else:
+            lost = log.first_lost_interval(t)
+        salv = salvage_report.describe() if salvage_report is not None else ""
         stop_at = seals_done if lost is None else min(seals_done, lost)
         if stop_at < 1:
             # nothing recoverable was sealed: recovery degenerates to a
@@ -245,16 +309,22 @@ def run_chaos_run(
             cases.append(
                 ChaosCase(app_name, protocol, seed, victim, t, 0,
                           live_kill, True, "restart-from-checkpoint",
-                          repro_extra=repro_extra)
+                          repro_extra=repro_extra, salvage=salv)
             )
             continue
         try:
             replay, _rt = replay_failed_node(
                 app, config, protocol, system_a, victim,
-                log.durable_view(t), stop_at,
+                view, stop_at, salvage=salvage_report,
             )
-        except RecoveryError as exc:
-            cases.append(fail(t, stop_at, f"replay error: {exc}"))
+        except (RecoveryError, LoggingProtocolError, SimulationError) as exc:
+            cause = _diagnosable(exc)
+            if cause is None:
+                raise
+            if disk_plan is not None and disk_plan.active:
+                cases.append(diagnosed(t, stop_at, cause, salvage=salv))
+            else:
+                cases.append(fail(t, stop_at, f"replay error: {cause}"))
             continue
         mismatches = compare_state(
             replay, probe.snapshots[stop_at], config.page_size
@@ -266,6 +336,7 @@ def run_chaos_run(
                 "" if not mismatches else "state mismatch",
                 mismatches,
                 repro_extra=repro_extra,
+                salvage=salv,
             )
         )
     return cases, plan, system_a.transport
@@ -280,6 +351,7 @@ def run_chaos_suite(
     crash_points: int = 5,
     kill_every: int = 4,
     rates: Optional[Dict[str, float]] = None,
+    disk_rates: Optional[Dict[str, float]] = None,
     sanitize: bool = False,
     fail_fast: bool = False,
     repro_extra: str = "",
@@ -302,6 +374,7 @@ def run_chaos_suite(
                     crash_points=crash_points,
                     live_kill=live,
                     rates=rates,
+                    disk_rates=disk_rates,
                     sanitize=sanitize,
                     app_name=app_name,
                     repro_extra=repro_extra,

@@ -53,6 +53,7 @@ class CheckpointSnapshot:
         self.nbytes = nbytes
         self.memory: np.ndarray = node.memory.snapshot()
         self.vt: VectorClock = node.vt
+        self.interval_index: int = node.interval_index
         self.page_states: Dict[int, Tuple[PageState, Optional[VectorClock]]] = {
             p: (node.pagetable.entry(p).state, node.pagetable.entry(p).version)
             for p in range(node.pagetable.npages)
@@ -65,12 +66,23 @@ class Checkpointer:
     #: Bytes of execution state (registers, protocol tables) per checkpoint.
     STATE_BYTES = 4096
 
-    def __init__(self, every: int, on: str = "seals"):
+    def __init__(self, every: int, on: str = "seals",
+                 retention: Optional[int] = None):
         if every < 1:
             raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
         if on not in ("seals", "barriers"):
             raise CheckpointError(f"unknown checkpoint trigger {on!r}")
+        if retention is not None and retention < 1:
+            raise CheckpointError(
+                f"checkpoint retention must be >= 1, got {retention}"
+            )
         self.every = every
+        #: Keep at most this many checkpoints; after each new one the
+        #: oldest beyond the depth are retired and the node's log is
+        #: truncated below the oldest *retained* seal (checkpoint-driven
+        #: log reclamation).  ``None`` = keep everything, never truncate.
+        self.retention = retention
+        self.retired: List[int] = []
         #: ``"seals"`` = independent checkpointing at every N sealed
         #: intervals (the paper's default; bounded rollback comes from
         #: the logging protocol).  ``"barriers"`` = coordinated
@@ -127,6 +139,17 @@ class Checkpointer:
         self.snapshots[node.seal_count] = CheckpointSnapshot(
             node, node.seal_count, nbytes
         )
+        if self.retention is not None:
+            kept = sorted(self.snapshots)
+            while len(kept) > self.retention:
+                seal = kept.pop(0)
+                del self.snapshots[seal]
+                self.retired.append(seal)
+            log = getattr(node.hooks, "log", None)
+            if log is not None:
+                # the log below the oldest retained checkpoint can never
+                # be replayed again: reclaim those segments
+                log.truncate_below(kept[0])
 
     # ------------------------------------------------------------------
     def latest_before(self, seal: int) -> Optional[CheckpointSnapshot]:

@@ -9,10 +9,14 @@ completed when the event occurred).  Recovery replays bundle ``i`` at
 the start of replay-interval ``i`` and window ``m`` records at the
 ``m``-th acquire, reproducing the failure-free schedule.
 
-Sizes follow the encodings of Section 3: an update-event record is 12
-bytes (interval number, page id, writer id); notices encode as interval
-records; ML's page-copy records carry a full page image; diff records
-carry the run-length-encoded diff bytes.
+Sizes follow the encodings of Section 3 -- notices encode as interval
+records, ML's page-copy records carry a full page image, diff records
+carry the run-length-encoded diff bytes -- plus the on-disk framing of
+:mod:`repro.core.logformat`: every record pays a 16-byte frame header
+(type tag, flags, window, interval, payload length, payload CRC32) and
+variable-width fields carry explicit counts.  ``nbytes`` is the exact
+framed size; :func:`~repro.core.logformat.encode_record` asserts the
+two stay in lockstep.
 """
 
 from __future__ import annotations
@@ -35,8 +39,14 @@ __all__ = [
     "OwnDiffLogRecord",
 ]
 
-#: Fixed metadata bytes per record (type tag, interval, window, length).
-RECORD_HEADER_BYTES = 8
+#: Frame header bytes per record: type tag (1), flags (1), window (2),
+#: interval (4), payload length (4), payload CRC32 (4).
+FRAME_HEADER_BYTES = 16
+
+
+def _vt_nbytes(vt) -> int:
+    """Encoded size of an optional vector clock: u32 count + components."""
+    return 4 if vt is None else 4 + vt.nbytes
 
 
 @dataclass
@@ -48,7 +58,7 @@ class LogRecord:
 
     @property
     def nbytes(self) -> int:  # pragma: no cover - overridden
-        return RECORD_HEADER_BYTES
+        return FRAME_HEADER_BYTES
 
 
 @dataclass
@@ -62,7 +72,12 @@ class NoticeLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        return RECORD_HEADER_BYTES + sum(r.nbytes for r in self.records)
+        # u32 record count; per record: (node, index, page count) metadata
+        # + length-prefixed vector + u32 per notice page
+        return FRAME_HEADER_BYTES + 4 + sum(
+            IntervalRecord.META_BYTES + _vt_nbytes(r.vt) + 4 * len(r.pages)
+            for r in self.records
+        )
 
 
 @dataclass
@@ -79,8 +94,7 @@ class FetchLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        v = self.version.nbytes if self.version is not None else 0
-        return RECORD_HEADER_BYTES + 4 + v
+        return FRAME_HEADER_BYTES + 4 + _vt_nbytes(self.version)
 
 
 @dataclass
@@ -93,11 +107,10 @@ class PageCopyLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        n = RECORD_HEADER_BYTES + 4
+        # i32 page + vector + u32 content length + contents
+        n = FRAME_HEADER_BYTES + 8 + _vt_nbytes(self.version)
         if self.contents is not None:
             n += len(self.contents)
-        if self.version is not None:
-            n += self.version.nbytes
         return n
 
 
@@ -117,7 +130,8 @@ class UpdateEventLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        return RECORD_HEADER_BYTES + 12 * len(self.pages)
+        # (writer, writer_index, part, page count) + u32 per page
+        return FRAME_HEADER_BYTES + 16 + 4 * len(self.pages)
 
 
 @dataclass
@@ -131,8 +145,11 @@ class IncomingDiffLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        v = self.vt.nbytes if self.vt is not None else 0
-        return RECORD_HEADER_BYTES + 8 + v + sum(d.nbytes for d in self.diffs)
+        # (writer, writer_index, diff count) + vector + packed diffs
+        return (
+            FRAME_HEADER_BYTES + 12 + _vt_nbytes(self.vt)
+            + sum(d.nbytes for d in self.diffs)
+        )
 
 
 @dataclass
@@ -156,14 +173,15 @@ class OwnDiffLogRecord(LogRecord):
 
     @property
     def nbytes(self) -> int:
-        v = self.vt.nbytes if self.vt is not None else 0
+        # (vt_index, diff/home/early counts) + vector + packed diffs;
+        # early entries add an i32 part tag and their flush-time vector
         return (
-            RECORD_HEADER_BYTES
-            + 4
-            + v
+            FRAME_HEADER_BYTES
+            + 16
+            + _vt_nbytes(self.vt)
             + sum(d.nbytes for d in self.diffs)
             + sum(d.nbytes for d in self.home_diffs)
-            + sum(8 + d.nbytes + evt.nbytes for _p, d, evt in self.early)
+            + sum(4 + d.nbytes + _vt_nbytes(evt) for _p, d, evt in self.early)
         )
 
     def find(self, page: int, part: int = 0):

@@ -42,7 +42,8 @@ class MessageLogging(LoggingHooks):
 
     def bind(self, node) -> None:
         super().bind(node)
-        self.log = StableLog(node.disk)
+        self.log = StableLog(node.disk, node_id=node.id,
+                             faults=getattr(node.disk, "fault_plan", None))
 
     # ------------------------------------------------------------------
     def on_notices_received(

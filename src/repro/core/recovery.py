@@ -116,6 +116,14 @@ class ReplayNode:
         self.responders = responders
         self.free_until = free_until_seal
         self.checkpoint = checkpoint
+        #: Truncation makes pre-checkpoint intervals unqueryable, so the
+        #: usual zero-cost fast-forward (which still *reads* the log)
+        #: would trip the watermark guards.  Restore mode instead skips
+        #: the truncated intervals outright and installs the checkpoint
+        #: image verbatim when the replay reaches its seal.
+        self.restore_mode = (
+            checkpoint is not None and plog.truncated_below > 0
+        )
         self.stats = NodeStats(node_id)
         #: Triggered with the virtual completion time when replay
         #: reaches the crash point.
@@ -127,6 +135,11 @@ class ReplayNode:
     def timed(self) -> bool:
         """False while fast-forwarding to the checkpoint (zero cost)."""
         return self.seal_count >= self.free_until
+
+    @property
+    def restoring(self) -> bool:
+        """True while skipping truncated intervals before the restore."""
+        return self.restore_mode and self.seal_count < self.free_until
 
     def _spend(self, category: str, seconds: float) -> Generator[Any, Any, None]:
         if self.timed and seconds > 0:
@@ -171,12 +184,16 @@ class ReplayNode:
         self.stats.count("barriers")
 
     def ensure_read(self, pages) -> Generator[Any, Any, None]:
+        if self.restoring:
+            return
         for p in pages:
             entry = self.pagetable.entry(p)
             if entry.state is PageState.INVALID and entry.home != self.id:
                 yield from self._replay_fault(p)
 
     def ensure_write(self, pages) -> Generator[Any, Any, None]:
+        if self.restoring:
+            return
         cpu = self.cfg.cpu
         for p in pages:
             entry = self.pagetable.entry(p)
@@ -205,7 +222,7 @@ class ReplayNode:
     def _seal_interval(self) -> Generator[Any, Any, None]:
         yield from self._spend("sync", self.cfg.cpu.sync_overhead_s)
         dirty = self.pagetable.take_dirty()
-        if dirty:
+        if dirty and not self.restoring:
             new_vt = self.vt.tick(self.id)
             for p in dirty:
                 entry = self.pagetable.entry(p)
@@ -229,6 +246,10 @@ class ReplayNode:
             self.checkpoint is not None
             and self.seal_count == self.free_until
         ):
+            if self.restore_mode:
+                # fast-forward could not touch the truncated log, so the
+                # checkpoint image is installed verbatim here
+                self._restore_checkpoint(self.checkpoint)
             # timed replay begins here: charge the checkpoint restore read
             t0 = self.sim.now
             yield self.disk.read(self.checkpoint.nbytes)
@@ -238,12 +259,32 @@ class ReplayNode:
             yield self._halt  # block forever; the controller reaps us
         yield from self._begin_interval()
 
+    def _restore_checkpoint(self, snap: CheckpointSnapshot) -> None:
+        """Install a checkpoint image verbatim (truncated-log replay)."""
+        self.memory.buffer[:] = snap.memory
+        self.vt = snap.vt
+        self.interval_index = snap.interval_index
+        for p, (state, version) in snap.page_states.items():
+            entry = self.pagetable.entry(p)
+            entry.version = version
+            if state is PageState.DIRTY and entry.home != self.id:
+                # checkpoints land on seal boundaries, so dirty pages
+                # are rare -- but a restored one needs its twin back
+                self.pagetable.make_twin(p, self.memory.page_bytes(p))
+            entry.state = state
+            if state is PageState.DIRTY:
+                self.pagetable.mark_dirty(p)
+
     def _begin_interval(self) -> Generator[Any, Any, None]:
+        if self.restoring:
+            return
         yield from self._boundary_read()
         yield from self._apply_boundary_updates()
         yield from self._process_window(0)
 
     def _process_window(self, window: int) -> Generator[Any, Any, None]:
+        if self.restoring:
+            return
         notices = self.plog.select(
             NoticeLogRecord, interval=self.interval_index, window=window
         )
@@ -426,14 +467,19 @@ def replay_failed_node(
     stop_at: int,
     free_until: int = 0,
     checkpoint: Optional[CheckpointSnapshot] = None,
+    salvage=None,
 ) -> Tuple[ReplayNode, float]:
     """Phase B: replay one victim in a fresh simulation, to ``stop_at`` seals.
 
     ``plog`` is the log the replay consumes -- the victim's full
     persistent log in the classic seal-aligned experiments, or a
-    :meth:`~repro.core.stablelog.StableLog.durable_view` truncated at an
-    arbitrary crash instant in the chaos suite.  Returns the replay node
-    (for state verification) and the replay's virtual duration.
+    :meth:`~repro.core.stablelog.StableLog.durable_view` (possibly
+    salvaged) at an arbitrary crash instant in the chaos suite.  When a
+    :class:`~repro.core.salvage.SalvageReport` is supplied, the bytes
+    its CRC walk read are charged to the replay as a sequential scan
+    before any interval is processed -- salvage is part of recovery
+    time.  Returns the replay node (for state verification) and the
+    replay's virtual duration.
     """
     from .ml_recovery import MlReplayNode
     from .ccl_recovery import CclReplayNode
@@ -474,6 +520,10 @@ def replay_failed_node(
     ]
 
     def replay_main() -> Generator[Any, Any, None]:
+        if salvage is not None and salvage.scan_bytes:
+            t0 = sim_b.now
+            yield disks_b[failed_node].read_seq(salvage.scan_bytes)
+            replay.stats.charge("salvage_scan", sim_b.now - t0)
         yield from replay.start()
         dsm = Dsm(replay, failed_node, config.num_nodes)
         yield from app.program(dsm)
@@ -501,6 +551,7 @@ def run_recovery_experiment(
     at_seal: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_mode: str = "seals",
+    retention: Optional[int] = None,
     verify: bool = True,
 ) -> RecoveryResult:
     """Run phase A (failure-free + probe) and phase B (timed replay).
@@ -511,7 +562,10 @@ def run_recovery_experiment(
     (``checkpoint_mode="seals"``, the paper's default) or coordinated at
     barrier episodes (``"barriers"``, the paper's noted extension);
     replay then starts timed execution at the latest checkpoint before
-    the crash.
+    the crash.  ``retention`` bounds how many checkpoints each node
+    keeps; retiring old ones truncates the log below the oldest retained
+    seal, so replay runs in *restore mode* (the checkpoint image is
+    installed verbatim instead of fast-forwarded to).
     """
     if protocol not in ("ml", "ccl"):
         raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
@@ -532,7 +586,7 @@ def run_recovery_experiment(
     if checkpoint_every:
         for node in system_a.nodes:
             checkpointers[node.id] = Checkpointer(
-                checkpoint_every, on=checkpoint_mode
+                checkpoint_every, on=checkpoint_mode, retention=retention
             )
             node.checkpointer = checkpointers[node.id]
     result_a = system_a.run()
@@ -605,6 +659,10 @@ class MultiRecoveryResult:
     recovery_times: Dict[int, float]
     mismatches: Dict[int, List[str]]
     phase_a: RunResult = field(repr=False, default=None)
+    #: Per-victim checkpoint seal replay started timed from (0 = none).
+    free_untils: Dict[int, int] = field(default_factory=dict)
+    #: Per-victim salvage reports (arbitrary-instant crashes only).
+    salvage: Dict[int, Any] = field(default_factory=dict)
 
     @property
     def recovery_time(self) -> float:
@@ -622,6 +680,11 @@ def run_multi_recovery_experiment(
     config: Optional[ClusterConfig] = None,
     protocol: str = "ccl",
     failed_nodes: Tuple[int, ...] = (0, 1),
+    at_time: Optional[float] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_mode: str = "seals",
+    retention: Optional[int] = None,
+    disk_fault_plan=None,
     verify: bool = True,
 ) -> MultiRecoveryResult:
     """Crash several nodes at their final intervals and recover them all.
@@ -632,9 +695,21 @@ def run_multi_recovery_experiment(
     replay purely locally, so ML supports multiple failures trivially;
     CCL needs the failed-node responders -- which only exist because CCL
     writers log their outgoing diffs durably.
+
+    ``at_time`` crashes *all* victims at one arbitrary virtual instant:
+    each victim's log is truncated to its crash-time durable view, run
+    through the salvage scan when ``disk_fault_plan`` is active, and
+    replayed to its own recoverable seal (victims may stop at different
+    seals).  ``checkpoint_every``/``retention`` add periodic checkpoints
+    with bounded retention; a victim whose salvaged log no longer covers
+    its replay window falls back to an earlier retained checkpoint via
+    :func:`~repro.core.salvage.plan_recovery`.  Simplification: victim
+    responders serve peers from their *full* phase-A logs -- peer-served
+    data is not subject to this victim's salvage cut.
     """
     from .ml_recovery import MlReplayNode
     from .ccl_recovery import CclReplayNode
+    from .salvage import SalvageReport, plan_recovery, salvage_log
 
     if protocol not in ("ml", "ccl"):
         raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
@@ -651,17 +726,68 @@ def run_multi_recovery_experiment(
         raise RecoveryError("at least one node must survive")
 
     # ---------------- phase A: failure-free run with one probe each ----
-    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
-    probes = {f: CrashProbe(f) for f in failed_nodes}
+    use_instant = at_time is not None
+    system_a = DsmSystem(
+        app, config, make_hooks_factory(protocol),
+        disk_fault_plan=disk_fault_plan,
+    )
+    probes = {f: CrashProbe(f, capture_all=use_instant) for f in failed_nodes}
     for probe in probes.values():
         system_a.add_probe(probe)
+    checkpointers: Dict[int, Checkpointer] = {}
+    if checkpoint_every:
+        for node in system_a.nodes:
+            checkpointers[node.id] = Checkpointer(
+                checkpoint_every, on=checkpoint_mode, retention=retention
+            )
+            node.checkpointer = checkpointers[node.id]
     result_a = system_a.run()
+
+    # ---------------- per-victim recovery plan -------------------------
     snapshots: Dict[int, FailureSnapshot] = {}
+    stop_ats: Dict[int, int] = {}
+    free_untils: Dict[int, int] = {}
+    ckpt_snaps: Dict[int, Optional[CheckpointSnapshot]] = {}
+    plogs: Dict[int, StableLog] = {}
+    salvage_reports: Dict[int, Any] = {}
     for f, probe in probes.items():
         probe.finalize()
-        if probe.snapshot is None:
-            raise RecoveryError(f"node {f} never sealed an interval")
-        snapshots[f] = probe.snapshot
+        full = getattr(system_a.nodes[f].hooks, "log")
+        ckpt = checkpointers.get(f)
+        if not use_instant:
+            if probe.snapshot is None:
+                raise RecoveryError(f"node {f} never sealed an interval")
+            stop_ats[f] = probe.snapshot.seal_count
+            snapshots[f] = probe.snapshot
+            plogs[f] = full
+            free_untils[f], ckpt_snaps[f] = 0, None
+            if ckpt is not None:
+                snap = ckpt.latest_before(stop_ats[f] - 1)
+                if snap is not None:
+                    free_untils[f], ckpt_snaps[f] = snap.seal, snap
+            continue
+        seals_done = sum(
+            1 for s in probe.snapshots.values() if s.time <= at_time
+        )
+        view = full.durable_view(at_time)
+        if disk_fault_plan is not None and disk_fault_plan.active:
+            view, report = salvage_log(view)
+        else:
+            report = SalvageReport(
+                f, salvaged_count=len(view.persistent_records)
+            )
+        salvage_reports[f] = report
+        stop_at, free_until, snap = plan_recovery(
+            full, report, seals_done, ckpt
+        )
+        if stop_at < 1:
+            raise RecoveryError(
+                f"victim {f}: nothing recoverable at t={at_time!r} "
+                f"({report.describe()})"
+            )
+        stop_ats[f], free_untils[f], ckpt_snaps[f] = stop_at, free_until, snap
+        snapshots[f] = probe.snapshots[stop_at]
+        plogs[f] = view
 
     # ---------------- phase B: concurrent replays ----------------------
     sim_b = Simulator()
@@ -691,9 +817,11 @@ def run_multi_recovery_experiment(
             system_a.space,
             system_a.homes,
             f,
-            getattr(system_a.nodes[f].hooks, "log"),
-            snapshots[f].seal_count,
+            plogs[f],
+            stop_ats[f],
             peer_responders,
+            free_until_seal=free_untils[f],
+            checkpoint=ckpt_snaps[f],
         )
 
     responder_procs = [
@@ -702,6 +830,11 @@ def run_multi_recovery_experiment(
     ]
 
     def replay_main(f: int) -> Generator[Any, Any, None]:
+        report = salvage_reports.get(f)
+        if report is not None and report.scan_bytes:
+            t0 = sim_b.now
+            yield disks_b[f].read_seq(report.scan_bytes)
+            replays[f].stats.charge("salvage_scan", sim_b.now - t0)
         yield from replays[f].start()
         dsm = Dsm(replays[f], f, config.num_nodes)
         yield from app.program(dsm)
@@ -735,8 +868,10 @@ def run_multi_recovery_experiment(
         app_name=getattr(app, "name", type(app).__name__),
         protocol=protocol,
         failed_nodes=tuple(failed_nodes),
-        at_seals={f: snapshots[f].seal_count for f in failed_nodes},
+        at_seals={f: stop_ats[f] for f in failed_nodes},
         recovery_times=recovery_times,
         mismatches=mismatches,
         phase_a=result_a,
+        free_untils=dict(free_untils),
+        salvage=dict(salvage_reports),
     )

@@ -12,31 +12,90 @@ A :class:`StableLog` separates three concerns:
 * **querying** -- recovery reads records back by bundle index, window
   tag, and type, and looks up a writer's logged diffs by
   ``(page, interval)``.
+
+Persistence is *segmented*: every flush writes one
+:class:`LogSegment` in the framed on-disk format of
+:mod:`repro.core.logformat` (16-byte segment header + CRC-framed
+records), and all byte accounting is derived from that encoding.  A
+:class:`~repro.sim.faults.DiskFaultPlan` attached at construction makes
+the flush path retry transient write errors with backoff and makes
+:meth:`durable_view` expose torn tails -- the byte-granularity prefix
+of an in-flight segment a crash leaves behind -- for the salvage scan
+(:mod:`repro.core.salvage`) to decode.
+
+Checkpoint-driven truncation (:meth:`truncate_below`) garbage-collects
+segments entirely below a durable checkpoint's seal, tracking reclaimed
+and live log bytes.  Truncated intervals become unqueryable (guarded
+with clean errors); replay must then start from the checkpoint rather
+than fast-forwarding from interval 0.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Generator, List, Optional, Tuple, Type, TypeVar
 
-from ..errors import LoggingProtocolError
+from ..errors import LoggingProtocolError, StorageFaultError
 from ..memory.diff import Diff
 from ..dsm.interval import VectorClock
 from ..sim.disk import Disk
-from ..sim.events import Signal
+from ..sim.events import Signal, Timeout
+from ..sim.faults import DiskFaultPlan
+from .logformat import SEGMENT_HEADER_BYTES, encode_segment
 from .logrecords import LogRecord, OwnDiffLogRecord
 
-__all__ = ["StableLog"]
+__all__ = ["StableLog", "LogSegment"]
 
 R = TypeVar("R", bound=LogRecord)
+
+
+@dataclass
+class LogSegment:
+    """One per-flush unit of the on-disk log.
+
+    ``start``/``count`` locate the segment's records inside the
+    persistent append sequence; ``nbytes`` is the exact framed size
+    (segment header + framed records).  ``durable_time`` stays ``None``
+    until the disk write completes -- a crash in between makes this the
+    *torn candidate*.  ``sealed`` marks zero-cost injector seals;
+    ``gc`` marks segments reclaimed by checkpoint-driven truncation.
+    """
+
+    seq: int
+    start: int
+    count: int
+    nbytes: int
+    interval_lo: int
+    interval_hi: int
+    issue_time: float
+    durable_time: Optional[float] = None
+    sealed: bool = False
+    gc: bool = False
+    records: List[LogRecord] = field(default_factory=list)
+    _encoded: Optional[bytes] = field(default=None, repr=False)
+
+    def encoded(self) -> bytes:
+        """The segment's exact on-disk bytes (lazily built, cached)."""
+        if self._encoded is None:
+            self._encoded = encode_segment(self.seq, self.records)
+        return self._encoded
 
 
 class StableLog:
     """One node's log of coherence-recovery data."""
 
-    def __init__(self, disk: Disk):
+    def __init__(self, disk: Disk, node_id: int = 0,
+                 faults: Optional[DiskFaultPlan] = None):
         self.disk = disk
+        self.node_id = node_id
+        #: Disk fault plan; ``None`` or an inert plan leaves the flush
+        #: path byte-identical to the fault-free model.
+        self.faults = faults
         self._volatile: List[LogRecord] = []
         self._persistent: List[LogRecord] = []
+        #: Per-flush segments in issue order (includes gc'd ones).
+        self._segments: List[LogSegment] = []
+        self._next_seq = 0
         #: interval -> persistent records, so replay's per-interval
         #: queries stay O(bundle) instead of O(log) (long runs replay
         #: tens of thousands of intervals).
@@ -51,6 +110,14 @@ class StableLog:
         self.num_flushes = 0
         self.bytes_flushed = 0
         self.volatile_peak_bytes = 0
+        self.flush_retries = 0
+        #: Intervals below this are truncated: their segments are
+        #: reclaimed and their index entries dropped (queries raise).
+        self.truncated_below = 0
+        self.reclaimed_bytes = 0
+        #: Torn tail exposed by :meth:`durable_view` for the salvage
+        #: scan: ``(in-flight segment, surviving byte-prefix length)``.
+        self._torn: Optional[Tuple[LogSegment, int]] = None
 
     # ------------------------------------------------------------------
     # buffering
@@ -64,7 +131,7 @@ class StableLog:
 
     @property
     def volatile_bytes(self) -> int:
-        """Bytes currently awaiting a flush."""
+        """Framed bytes currently awaiting a flush."""
         return sum(r.nbytes for r in self._volatile)
 
     @property
@@ -81,6 +148,11 @@ class StableLog:
         crash); actual recovery paths use :attr:`persistent_records`.
         """
         return self._persistent + self._volatile
+
+    @property
+    def live_log_bytes(self) -> int:
+        """On-disk bytes not yet reclaimed by truncation."""
+        return sum(s.nbytes for s in self._segments if not s.gc)
 
     # ------------------------------------------------------------------
     # flushing
@@ -119,8 +191,11 @@ class StableLog:
         interval are flushed" -- at which any just-arrived update events
         have also reached the disk.  Returns the number of records moved.
         """
-        n = len(self._volatile)
-        self._retire(self._volatile)
+        records = self._volatile
+        n = len(records)
+        if n:
+            self._new_segment(records, sealed=True)
+        self._retire(records)
         self._flush_marks.append((len(self._persistent), self.disk.sim.now))
         return n
 
@@ -140,34 +215,130 @@ class StableLog:
         if not sealed:
             return 0
         remaining = [r for r in self._volatile if id(r) not in ids]
+        self._new_segment(sealed, sealed=True)
         self._retire(sealed)
         self._volatile = remaining
         self._flush_marks.append((len(self._persistent), self.disk.sim.now))
         return len(sealed)
 
+    def _new_segment(self, records: List[LogRecord],
+                     sealed: bool = False) -> LogSegment:
+        """Build the segment for records about to retire (not yet moved)."""
+        now = self.disk.sim.now
+        seg = LogSegment(
+            seq=self._next_seq,
+            start=len(self._persistent),
+            count=len(records),
+            nbytes=SEGMENT_HEADER_BYTES + sum(r.nbytes for r in records),
+            interval_lo=min(r.interval for r in records),
+            interval_hi=max(r.interval for r in records),
+            issue_time=now,
+            durable_time=now if sealed else None,
+            sealed=sealed,
+            records=list(records),
+        )
+        self._next_seq += 1
+        self._segments.append(seg)
+        return seg
+
     def _retire(self, records: List[LogRecord]) -> None:
         self._persistent.extend(records)
         for r in records:
-            self._by_interval.setdefault(r.interval, []).append(r)
+            if r.interval >= self.truncated_below:
+                self._by_interval.setdefault(r.interval, []).append(r)
             if isinstance(r, OwnDiffLogRecord):
-                self._own_by_vtidx.setdefault(r.vt_index, []).append(r)
+                if r.vt_index >= self.truncated_below:
+                    self._own_by_vtidx.setdefault(r.vt_index, []).append(r)
         if records is self._volatile:
             self._volatile = []
         else:
             records.clear()
 
     def _begin_flush(self, nbytes: int) -> Signal:
+        seg = self._new_segment(self._volatile)
         self.num_flushes += 1
-        self.bytes_flushed += nbytes
+        # byte accounting is the on-disk size: segment header included
+        self.bytes_flushed += seg.nbytes
         self._retire(self._volatile)
-        sig = self.disk.write(nbytes)
         count = len(self._persistent)
-        # the prefix becomes durable when the disk write completes; a
-        # crash before that instant loses the whole flush
-        sig.add_callback(
-            lambda _v, c=count: self._flush_marks.append((c, self.disk.sim.now))
+        f = self.faults.faults_for(self.node_id) if (
+            self.faults is not None and self.faults.active
+        ) else None
+        if f is None or not f.write_error:
+            # fault-free path: one write, durable at its completion; a
+            # crash before that instant loses the whole flush (unless a
+            # torn tail survives -- see durable_view)
+            sig = self.disk.write(seg.nbytes)
+            sig.add_callback(
+                lambda _v, s=seg, c=count: self._mark_durable(s, c)
+            )
+            return sig
+        done = Signal(f"log{self.node_id}.flush{seg.seq}")
+        self.disk.sim.spawn(
+            self._flush_with_retries(seg, count, f, done),
+            name=f"log{self.node_id}.flush{seg.seq}",
         )
-        return sig
+        return done
+
+    def _flush_with_retries(self, seg: LogSegment, count: int, f,
+                            done: Signal):
+        """Flush driver under a write-error fault schedule.
+
+        Each attempt pays the full disk write; a transient error costs
+        an additional backoff (scaled by attempt) before the retry.
+        Exhausting ``max_retries`` is a permanent storage failure.
+        """
+        attempt = 0
+        while True:
+            failed = self.faults.write_fails(self.node_id)
+            yield self.disk.write(seg.nbytes)
+            if not failed:
+                break
+            attempt += 1
+            self.flush_retries += 1
+            if attempt > f.max_retries:
+                raise StorageFaultError(
+                    f"node {self.node_id}: flush of segment {seg.seq} "
+                    f"({seg.nbytes} bytes) failed {attempt} times"
+                )
+            yield Timeout(f.retry_backoff_s * attempt)
+        self._mark_durable(seg, count)
+        done.trigger(self.disk.sim.now)
+
+    def _mark_durable(self, seg: LogSegment, count: int) -> None:
+        seg.durable_time = self.disk.sim.now
+        self._flush_marks.append((count, seg.durable_time))
+
+    # ------------------------------------------------------------------
+    # checkpoint-driven truncation
+    # ------------------------------------------------------------------
+    def truncate_below(self, interval: int) -> int:
+        """Reclaim segments entirely below ``interval`` (a durable
+        checkpoint's seal).
+
+        Marks qualifying durable segments garbage, drops the index
+        entries of truncated intervals, and raises the truncation
+        watermark: queries below it raise cleanly instead of returning
+        partial data.  The flat persistent sequence is kept (durability
+        marks are count-based); replay must start from the checkpoint.
+        Returns the bytes reclaimed by this call.
+        """
+        if interval <= self.truncated_below:
+            return 0
+        freed = 0
+        for seg in self._segments:
+            if seg.gc or seg.durable_time is None:
+                continue
+            if seg.interval_hi < interval:
+                seg.gc = True
+                freed += seg.nbytes
+        self.reclaimed_bytes += freed
+        for i in [i for i in self._by_interval if i < interval]:
+            del self._by_interval[i]
+        for i in [i for i in self._own_by_vtidx if i < interval]:
+            del self._own_by_vtidx[i]
+        self.truncated_below = interval
+        return freed
 
     # ------------------------------------------------------------------
     # durability queries (the arbitrary-instant crash model)
@@ -188,37 +359,80 @@ class StableLog:
                 count = c
         return count
 
-    def first_lost_interval(self, at_time: float) -> Optional[int]:
-        """Interval tag of the earliest record lost by a crash at ``at_time``.
+    def first_lost_from(self, count: int) -> Optional[int]:
+        """Interval tag of the earliest record beyond a durable prefix
+        of ``count`` records (``None`` if nothing is lost).
 
-        ``None`` means every appended record was durable.  Interval tags
-        are appended monotonically (hooks tag records with the node's
-        current ``interval_index``), so every bundle *below* the
-        returned tag is fully durable -- that is the highest seal count
-        recovery can replay to.
+        Interval tags are appended monotonically (hooks tag records
+        with the node's current ``interval_index``), so every bundle
+        *below* the returned tag is fully durable -- that is the
+        highest seal count recovery can replay to.
         """
-        rest = self._persistent[self.durable_count(at_time):] + self._volatile
+        rest = self._persistent[count:] + self._volatile
         if not rest:
             return None
         return min(r.interval for r in rest)
+
+    def first_lost_interval(self, at_time: float) -> Optional[int]:
+        """Interval tag of the earliest record lost by a crash at
+        ``at_time`` (``None`` if every appended record was durable)."""
+        return self.first_lost_from(self.durable_count(at_time))
 
     def durable_view(self, at_time: float) -> "StableLog":
         """A log holding exactly what a crash at ``at_time`` leaves on disk.
 
         The view shares the disk (recovery charges its reads there) but
         owns its own record lists; flush statistics start at zero, as a
-        recovering node would observe.
+        recovering node would observe.  Under a
+        :class:`~repro.sim.faults.DiskFaultPlan` the view also exposes
+        the *torn tail*: if a flush was in flight at ``at_time`` and
+        the plan's pure per-segment draw says a byte prefix survived,
+        ``_torn`` names the segment and the surviving length for the
+        salvage scan to decode.  Latent bit rot is *not* materialised
+        here -- it lives in the shared segment objects' fault draws and
+        is discovered (or not) by salvage's CRC walk.
         """
-        view = StableLog(self.disk)
-        view._retire(list(self._persistent[: self.durable_count(at_time)]))
+        view = StableLog(self.disk, node_id=self.node_id, faults=self.faults)
+        view.truncated_below = self.truncated_below
+        n = self.durable_count(at_time)
+        view._retire(list(self._persistent[:n]))
         view._flush_marks.append((len(view._persistent), at_time))
+        # durable segments are those fully inside the durable prefix
+        # (a zero-cost seal can certify an in-flight flush's records,
+        # so membership is by record range, not by durable_time)
+        view._segments = [
+            s for s in self._segments if s.start + s.count <= n
+        ]
+        view._next_seq = self._next_seq
+        view.reclaimed_bytes = sum(s.nbytes for s in view._segments if s.gc)
+        if self.faults is not None and self.faults.active:
+            for seg in self._segments:
+                if (seg.start == n and not seg.sealed
+                        and seg.issue_time <= at_time
+                        and (seg.durable_time is None
+                             or seg.durable_time > at_time)):
+                    surviving = self.faults.torn_bytes(
+                        self.node_id, seg.seq, seg.nbytes
+                    )
+                    if surviving is not None:
+                        view._torn = (seg, surviving)
+                    break
         return view
 
     # ------------------------------------------------------------------
     # recovery queries (operate on the persistent log)
     # ------------------------------------------------------------------
+    def _check_live(self, interval: int) -> None:
+        if interval < self.truncated_below:
+            raise LoggingProtocolError(
+                f"node {self.node_id}: interval {interval} was truncated "
+                f"(watermark {self.truncated_below}); recovery must start "
+                f"from a checkpoint at or above the watermark"
+            )
+
     def bundle(self, interval: int) -> List[LogRecord]:
         """All persistent records of one bundle, in append order."""
+        self._check_live(interval)
         return list(self._by_interval.get(interval, []))
 
     def bundle_bytes(self, interval: int) -> int:
@@ -232,14 +446,16 @@ class StableLog:
         window: Optional[int] = None,
     ) -> List[R]:
         """Persistent records of a given type, optionally filtered."""
-        pool = (
-            self._by_interval.get(interval, [])
-            if interval is not None
-            else self._persistent
-        )
+        if interval is not None:
+            self._check_live(interval)
+            pool = self._by_interval.get(interval, [])
+        else:
+            pool = self._persistent
         out: List[R] = []
         for r in pool:
             if not isinstance(r, rtype):
+                continue
+            if r.interval < self.truncated_below:
                 continue
             if window is not None and r.window != window:
                 continue
@@ -254,8 +470,10 @@ class StableLog:
         Serves :class:`~repro.dsm.messages.LogDiffRequest` during a
         peer's recovery.  Raises if the entry is absent, which would
         indicate a protocol bug (update events always reference diffs
-        their writers logged before the event became observable).
+        their writers logged before the event became observable) -- or,
+        with a distinct message, that truncation reclaimed it.
         """
+        self._check_live(vt_index)
         for r in self._own_by_vtidx.get(vt_index, []):
             found = r.find(page, part)
             if found is not None:
@@ -276,6 +494,9 @@ class StableLog:
         interval, home-write, and early flushes.  Used by delta
         reconstruction's per-writer range queries; an empty result is
         legal (the writer may not have touched the page in that span).
+        Truncated indices below the watermark simply contribute nothing
+        (delta reconstruction never reaches below a restored
+        checkpoint's version cut).
         """
         out: List[Tuple[Diff, int, int, VectorClock]] = []
         for idx in range(lo_index, hi_index + 1):
@@ -302,6 +523,8 @@ class StableLog:
         out: List[Tuple[int, int]] = []
         for r in self._persistent:
             if isinstance(r, OwnDiffLogRecord):
+                if r.vt_index < self.truncated_below:
+                    continue
                 for d in r.home_diffs:
                     if d.page == page:
                         out.append((r.vt_index, 0))
@@ -312,14 +535,16 @@ class StableLog:
 
         The log-derived replacement for a failed home's in-memory
         ``home_events`` table; entries carry no vector timestamps (event
-        records are 12 bytes), so requesters must filter fetched diffs
-        against their needed version client-side.
+        records are framed metadata only), so requesters must filter
+        fetched diffs against their needed version client-side.
         """
         from .logrecords import UpdateEventLogRecord
 
         out: List[Tuple[int, int, int]] = []
         for r in self._persistent:
             if isinstance(r, UpdateEventLogRecord) and page in r.pages:
+                if r.interval < self.truncated_below:
+                    continue
                 out.append((r.writer, r.writer_index, r.part))
         return out
 
@@ -330,4 +555,8 @@ class StableLog:
             "bytes_flushed": self.bytes_flushed,
             "records": len(self._persistent) + len(self._volatile),
             "volatile_peak_bytes": self.volatile_peak_bytes,
+            "segments": len(self._segments),
+            "live_log_bytes": self.live_log_bytes,
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "flush_retries": self.flush_retries,
         }

@@ -17,7 +17,7 @@ from ..errors import ApplicationError, ConfigError
 from ..sim.disk import Disk
 from ..sim.engine import Simulator
 from ..sim.events import AllOf
-from ..sim.faults import FaultPlan
+from ..sim.faults import DiskFaultPlan, FaultPlan
 from ..sim.network import Network
 from ..sim.stats import NodeStats
 from ..sim.trace import Tracer
@@ -52,6 +52,19 @@ class RunResult:
     blocked: List[str] = field(default_factory=list)
     #: Live node objects, retained for verification and recovery setup.
     nodes: List[HlrcNode] = field(default_factory=list, repr=False)
+    #: Per-disk summaries (op latency histograms, byte/op counters).
+    disk_stats: List[Dict[str, Any]] = field(default_factory=list, repr=False)
+
+    # -- stable-storage metrics (checkpoint-driven truncation) ----------
+    @property
+    def live_log_bytes(self) -> int:
+        """On-disk log bytes not yet reclaimed, across all nodes."""
+        return int(sum(s.get("live_log_bytes", 0) for s in self.log_summaries))
+
+    @property
+    def reclaimed_log_bytes(self) -> int:
+        """Log bytes garbage-collected by truncation, across all nodes."""
+        return int(sum(s.get("reclaimed_bytes", 0) for s in self.log_summaries))
 
     @property
     def aggregate(self) -> NodeStats:
@@ -88,6 +101,7 @@ class DsmSystem:
         tracer: Optional[Tracer] = None,
         coherence: str = "hlrc",
         fault_plan: Optional[FaultPlan] = None,
+        disk_fault_plan: Optional["DiskFaultPlan"] = None,
     ):
         if coherence not in ("hlrc", "lrc", "hlrc-migrate"):
             raise ConfigError(f"unknown coherence protocol {coherence!r}")
@@ -120,6 +134,12 @@ class DsmSystem:
             Disk(self.sim, self.config.disk, f"disk{i}")
             for i in range(self.config.num_nodes)
         ]
+        # the logging hooks pick the plan up from their node's disk when
+        # they bind (disks exist before nodes, so this must come first)
+        self.disk_fault_plan = disk_fault_plan
+        if disk_fault_plan is not None:
+            for disk in self.disks:
+                disk.fault_plan = disk_fault_plan
 
         # let the application lay out shared memory
         self.space = SharedAddressSpace(self.config.page_size)
@@ -245,6 +265,7 @@ class DsmSystem:
             bytes_by_kind=dict(self.network.bytes_by_kind),
             config=self.config,
             nodes=self.nodes,
+            disk_stats=[d.summary() for d in self.disks],
         )
 
     def _main(self, node: HlrcNode) -> Generator[Any, Any, None]:

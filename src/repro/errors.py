@@ -19,6 +19,8 @@ __all__ = [
     "ProtocolError",
     "SynchronizationError",
     "LoggingProtocolError",
+    "LogFormatError",
+    "StorageFaultError",
     "CheckpointError",
     "RecoveryError",
     "ApplicationError",
@@ -86,6 +88,14 @@ class SynchronizationError(ProtocolError):
 
 class LoggingProtocolError(ReproError):
     """A logging protocol hook was invoked in an illegal order."""
+
+
+class LogFormatError(ReproError):
+    """A framed log segment or record failed to decode (torn/corrupt)."""
+
+
+class StorageFaultError(ReproError):
+    """A stable-storage write failed permanently (retries exhausted)."""
 
 
 class CheckpointError(ReproError):

@@ -52,6 +52,26 @@ def _rates(args):
     }
 
 
+def _disk_rates(args):
+    return {
+        "torn_tail": args.disk_torn,
+        "write_error": args.disk_write_error,
+        "bitrot": args.disk_bitrot,
+    }
+
+
+def _disk_extra(args) -> str:
+    """Repro-command fragment for any nonzero disk fault rates."""
+    parts = []
+    if args.disk_torn:
+        parts.append(f"--disk-torn {args.disk_torn}")
+    if args.disk_write_error:
+        parts.append(f"--disk-write-error {args.disk_write_error}")
+    if args.disk_bitrot:
+        parts.append(f"--disk-bitrot {args.disk_bitrot}")
+    return " ".join(parts)
+
+
 def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
     """Re-run up to MAX_FAILURE_BUNDLES failing cases traced and dump
     one telemetry bundle per case next to its repro command."""
@@ -82,6 +102,7 @@ def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
                 crash_times=[case.crash_time],
                 live_kill=case.live_kill,
                 rates=_rates(args),
+                disk_rates=_disk_rates(args),
                 tracer=tracer,
             )
         except Exception as exc:  # the failure itself may raise
@@ -98,6 +119,7 @@ def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
                 "live_kill": case.live_kill,
                 "detail": case.detail,
                 "mismatches": case.mismatches[:20],
+                "salvage": case.salvage,
             },
             "repro_command": case.repro_command(),
         }
@@ -113,6 +135,9 @@ def run_chaos(args) -> int:
     apps = args.apps if args.apps_given else list(DEFAULT_CHAOS_APPS)
     factories = _factories(apps, args.scale)
     repro_extra = f"--scale {args.scale} --nodes {args.nodes}"
+    disk_extra = _disk_extra(args)
+    if disk_extra:
+        repro_extra += f" {disk_extra}"
 
     if args.seed is not None:
         # single-seed repro path, optionally pinned to one crash instant
@@ -129,6 +154,7 @@ def run_chaos(args) -> int:
                     ),
                     live_kill=args.live_kill,
                     rates=_rates(args),
+                    disk_rates=_disk_rates(args),
                     sanitize=args.sanitize,
                     repro_extra=repro_extra,
                 )
@@ -144,6 +170,7 @@ def run_chaos(args) -> int:
             crash_points=args.crash_points,
             kill_every=args.kill_every,
             rates=_rates(args),
+            disk_rates=_disk_rates(args),
             sanitize=args.sanitize,
             fail_fast=args.fail_fast,
             repro_extra=repro_extra,

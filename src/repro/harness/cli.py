@@ -102,7 +102,8 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="fan independent simulations out over N processes "
                         "(default: serial; output is byte-identical)")
-    p.add_argument("--which", default="disk", choices=["disk", "pagesize"],
+    p.add_argument("--which", default="disk",
+                   choices=["disk", "pagesize", "logsize"],
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
@@ -153,6 +154,15 @@ def _parser() -> argparse.ArgumentParser:
                        help="per-message extra-delay probability")
     chaos.add_argument("--reorder", type=float, default=0.12,
                        help="per-message reorder probability")
+    chaos.add_argument("--disk-torn", type=float, default=0.0,
+                       help="per-crash probability that a byte prefix of "
+                            "the in-flight flush survives (torn tail)")
+    chaos.add_argument("--disk-write-error", type=float, default=0.0,
+                       help="per-flush-attempt transient write-error "
+                            "probability (retried with backoff)")
+    chaos.add_argument("--disk-bitrot", type=float, default=0.0,
+                       help="per-segment latent bit-flip probability "
+                            "(caught by the salvage scan's CRC walk)")
     chaos.add_argument("--sanitize", action="store_true",
                        help="also run the coherence sanitizer over each "
                             "faulted trace")

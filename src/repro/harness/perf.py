@@ -49,6 +49,7 @@ __all__ = [
     "run_perf_suite",
     "run_kernel_benchmarks",
     "run_app_benchmarks",
+    "run_log_truncation_bench",
     "check_kernels",
     "write_perf_json",
     "append_perf_history",
@@ -249,6 +250,39 @@ def run_app_benchmarks(
 
 
 # ----------------------------------------------------------------------
+# checkpoint-driven log truncation accounting
+# ----------------------------------------------------------------------
+
+def run_log_truncation_bench() -> Dict[str, float]:
+    """Live/reclaimed log bytes for one checkpoint-truncated run.
+
+    One small SHALLOW/ML recovery experiment with checkpoints every 4
+    seals and a retention depth of 2, so the committed perf record
+    tracks how many log bytes truncation reclaims (virtual quantities:
+    deterministic, unlike the wall-clock numbers above).
+    """
+    from ..apps import make_app
+    from ..config import ClusterConfig
+    from ..core.recovery import run_recovery_experiment
+
+    result = run_recovery_experiment(
+        make_app("shallow", n=16, steps=8),
+        ClusterConfig.ultra5(num_nodes=4),
+        "ml",
+        failed_node=1,
+        checkpoint_every=4,
+        retention=2,
+    )
+    a = result.phase_a
+    return {
+        "bytes_flushed": float(a.total_log_bytes),
+        "live_log_bytes": float(a.live_log_bytes),
+        "reclaimed_bytes": float(a.reclaimed_log_bytes),
+        "recovery_ok": float(result.ok),
+    }
+
+
+# ----------------------------------------------------------------------
 # correctness check (CI perf-smoke mode)
 # ----------------------------------------------------------------------
 
@@ -314,6 +348,7 @@ def run_perf_suite(
         "correctness_cases": checked,
         "kernels": run_kernel_benchmarks(repeat=repeat),
         "apps_wall_s": run_app_benchmarks(apps=apps, scale=scale),
+        "log_truncation": run_log_truncation_bench(),
     }
     return report
 
@@ -350,6 +385,7 @@ def append_perf_history(
             if row.get("ns_per_op") is not None
         },
         "apps_wall_s": dict(report.get("apps_wall_s", {})),
+        "log_truncation": dict(report.get("log_truncation", {})),
     }
     parent = os.path.dirname(path)
     if parent:

@@ -184,11 +184,27 @@ class MetricsRegistry:
                 reg.counter("repro_time_seconds_total", stats.time.get(cat),
                             help_text="virtual seconds by breakdown bucket",
                             node=stats.node_id, category=cat)
+        live = reclaimed = 0.0
         for summary in result.log_summaries:
             for key, value in sorted(summary.items()):
                 if isinstance(value, (int, float)):
                     reg.counter(f"repro_log_{key}_total", value,
                                 help_text="stable-log statistic")
+            live += summary.get("live_log_bytes", 0)
+            reclaimed += summary.get("reclaimed_bytes", 0)
+        reg.gauge("repro_log_live_bytes", live,
+                  help_text="on-disk log bytes not yet reclaimed by "
+                            "checkpoint-driven truncation")
+        reg.gauge("repro_log_reclaimed_bytes", reclaimed,
+                  help_text="log bytes reclaimed by checkpoint-driven "
+                            "truncation")
+        for disk in getattr(result, "disk_stats", None) or []:
+            for kind, samples in sorted(disk.get("op_latencies", {}).items()):
+                for value in samples:
+                    reg.observe("repro_disk_op_latency_seconds", value,
+                                help_text="disk op latency (queueing + "
+                                          "service) by kind",
+                                kind=kind, disk=disk.get("name", "disk"))
         if tracer is not None:
             reg.gauge("repro_trace_events", len(tracer.events),
                       help_text="recorded point events")

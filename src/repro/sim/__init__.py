@@ -12,7 +12,7 @@ from .engine import Simulator
 from .events import AllOf, Signal, Timeout
 from .process import SimProcess
 from .resources import FifoServer, Mailbox
-from .faults import FaultPlan, LinkFaults
+from .faults import DiskFaultPlan, DiskFaults, FaultPlan, LinkFaults
 from .network import Network, NetMessage
 from .disk import Disk
 from .stats import Counter, NodeStats, TimeBreakdown
@@ -27,6 +27,8 @@ __all__ = [
     "Mailbox",
     "FaultPlan",
     "LinkFaults",
+    "DiskFaults",
+    "DiskFaultPlan",
     "Network",
     "NetMessage",
     "Disk",

@@ -6,9 +6,22 @@ fixed access latency plus a bandwidth-proportional transfer, per
 -- the caller receives a completion :class:`~repro.sim.events.Signal`
 and chooses whether to wait -- which is exactly the hook coherence-
 centric logging exploits to overlap its flush with the diff round trip.
+
+Zero-byte operations complete immediately without queueing: there is no
+data to persist or fetch, so charging access latency would bill callers
+for I/O that never happens.  Per-operation latencies (queueing plus
+service) are recorded per kind for the obs metrics registry.
+
+The disk itself never fails; imperfect stable storage (torn tails,
+transient write errors, bit rot) is modelled by the
+:class:`~repro.sim.faults.DiskFaultPlan` a harness may attach as
+``disk.fault_plan``, which the flush path in
+:class:`~repro.core.stablelog.StableLog` consults.
 """
 
 from __future__ import annotations
+
+from typing import Dict, List, Optional
 
 from ..config import DiskConfig
 from ..errors import SimulationError
@@ -31,40 +44,81 @@ class Disk:
         self.bytes_read = 0
         self.num_writes = 0
         self.num_reads = 0
+        #: Completed-op latencies (queueing + service, seconds) by kind.
+        self.op_latencies: Dict[str, List[float]] = {}
+        #: Optional :class:`~repro.sim.faults.DiskFaultPlan`, attached by
+        #: the harness; consulted by the StableLog flush path, not here.
+        self.fault_plan = None
+
+    def _issue(self, kind: str, service_time: float) -> Signal:
+        t0 = self.sim.now
+        sig = self._server.request(service_time)
+        sig.add_callback(
+            lambda _v: self.op_latencies.setdefault(kind, [])
+            .append(self.sim.now - t0)
+        )
+        return sig
+
+    def _immediate(self, kind: str) -> Signal:
+        """Zero-byte fast path: complete now, skip the FIFO queue."""
+        sig = Signal(f"{self.name}.{kind}0")
+        sig.trigger(self.sim.now)
+        self.op_latencies.setdefault(kind, []).append(0.0)
+        return sig
 
     def write(self, nbytes: int) -> Signal:
         """Issue a write of ``nbytes``; returns its completion signal."""
         if nbytes < 0:
             raise SimulationError(f"negative write size: {nbytes}")
-        self.bytes_written += nbytes
         self.num_writes += 1
-        return self._server.request(self.config.write_time(nbytes))
+        if nbytes == 0:
+            return self._immediate("write")
+        self.bytes_written += nbytes
+        return self._issue("write", self.config.write_time(nbytes))
 
     def read(self, nbytes: int) -> Signal:
         """Issue a cold random read; returns its completion signal."""
         if nbytes < 0:
             raise SimulationError(f"negative read size: {nbytes}")
-        self.bytes_read += nbytes
         self.num_reads += 1
-        return self._server.request(self.config.read_time(nbytes))
+        if nbytes == 0:
+            return self._immediate("read")
+        self.bytes_read += nbytes
+        return self._issue("read", self.config.read_time(nbytes))
 
     def read_seq(self, nbytes: int) -> Signal:
         """Issue a sequential-scan read (recovery log consumption)."""
         if nbytes < 0:
             raise SimulationError(f"negative read size: {nbytes}")
-        self.bytes_read += nbytes
         self.num_reads += 1
-        return self._server.request(self.config.seq_read_time(nbytes))
+        if nbytes == 0:
+            return self._immediate("read_seq")
+        self.bytes_read += nbytes
+        return self._issue("read_seq", self.config.seq_read_time(nbytes))
 
     def read_cached(self, nbytes: int) -> Signal:
         """Issue a buffer-cache-warm read (survivor log service)."""
         if nbytes < 0:
             raise SimulationError(f"negative read size: {nbytes}")
-        self.bytes_read += nbytes
         self.num_reads += 1
-        return self._server.request(self.config.cached_read_time(nbytes))
+        if nbytes == 0:
+            return self._immediate("read_cached")
+        self.bytes_read += nbytes
+        return self._issue("read_cached", self.config.cached_read_time(nbytes))
 
     @property
     def busy_time(self) -> float:
         """Total seconds the disk has spent (or is committed to spend) busy."""
         return self._server.busy_time
+
+    def summary(self) -> Dict[str, object]:
+        """I/O statistics plus per-kind latency samples (obs metrics)."""
+        return {
+            "name": self.name,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "num_writes": self.num_writes,
+            "num_reads": self.num_reads,
+            "busy_time": self.busy_time,
+            "op_latencies": {k: list(v) for k, v in self.op_latencies.items()},
+        }

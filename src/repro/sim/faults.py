@@ -1,4 +1,4 @@
-"""Deterministic network fault injection.
+"""Deterministic network and disk fault injection.
 
 A :class:`FaultPlan` tells the :class:`~repro.sim.network.Network` how to
 misbehave: per-link / per-kind probabilities of dropping, duplicating,
@@ -6,14 +6,24 @@ delaying, and reordering messages, plus *live kills* at arbitrary
 virtual times that discard the victim's queued NIC frames and every
 delivery still in flight to or from it.
 
-All randomness comes from one ``random.Random`` seeded at construction,
-and the plan is consulted in simulator event order, so a given
-``(seed, workload)`` pair always produces the same fault schedule --
-the property the chaos suite's one-line repro commands depend on.
+A :class:`DiskFaultPlan` does the same for stable storage: per-node
+probabilities of *torn tails* (a crash mid-flush persists a byte-
+granularity prefix of the in-flight segment instead of losing the whole
+flush), *transient write errors* (the flush path retries with backoff),
+and *latent bit rot* (single-bit flips in already-persistent segments,
+caught by the per-frame CRCs at salvage time).
 
-``FaultPlan.none()`` is inert: the network detects it and takes the
-exact fault-free code path, so every statistic of an unfaulted run stays
-byte-identical with or without a plan attached.
+All randomness comes from seeded ``random.Random`` streams.  Faults
+consulted in simulator event order (message deliveries, write errors)
+draw from one sequential stream; faults that must be stable across
+repeated queries (torn tails and bit rot are evaluated per crash
+*instant*, and the chaos suite probes many instants of one run) are
+pure functions of ``(seed, node, segment)`` via string-seeded RNGs.
+
+``FaultPlan.none()`` / ``DiskFaultPlan.none()`` are inert: consumers
+detect them and take the exact fault-free code path, so every statistic
+of an unfaulted run stays byte-identical with or without a plan
+attached.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import SimulationError
 
-__all__ = ["LinkFaults", "FaultPlan"]
+__all__ = ["LinkFaults", "FaultPlan", "DiskFaults", "DiskFaultPlan"]
 
 
 @dataclass(frozen=True)
@@ -211,3 +221,162 @@ class FaultPlan:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultPlan {self.describe()}>"
+
+
+@dataclass(frozen=True)
+class DiskFaults:
+    """Stable-storage fault rates for one node's disk."""
+
+    #: Probability a crash mid-flush leaves a byte-granularity prefix of
+    #: the in-flight segment on disk (vs. losing the flush whole).
+    torn_tail: float = 0.0
+    #: Per-flush probability of a transient write error (retried).
+    write_error: float = 0.0
+    #: Per-segment probability of a latent single-bit flip.
+    bitrot: float = 0.0
+    #: Transient write errors are retried at most this many times.
+    max_retries: int = 6
+    #: Base backoff before a retry (seconds, scaled by attempt).
+    retry_backoff_s: float = 200e-6
+
+    def __post_init__(self) -> None:
+        for name in ("torn_tail", "write_error", "bitrot"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise SimulationError(f"bad {name} probability {p}")
+        if self.max_retries < 0:
+            raise SimulationError(f"negative max_retries {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise SimulationError(
+                f"negative retry backoff {self.retry_backoff_s}"
+            )
+
+    @property
+    def quiet(self) -> bool:
+        """True when this disk never misbehaves."""
+        return not (self.torn_tail or self.write_error or self.bitrot)
+
+
+class DiskFaultPlan:
+    """A seeded, deterministic schedule of stable-storage misbehaviour.
+
+    Write-error draws happen in flush order (one per attempt), so they
+    come from a sequential stream.  Torn-tail and bit-rot draws must
+    give the same answer every time the same segment is examined --
+    ``durable_view``/salvage run once per probed crash instant -- so
+    they are pure functions of ``(seed, node, segment seq)``.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default: Optional[DiskFaults] = None,
+        nodes: Optional[Dict[int, DiskFaults]] = None,
+    ):
+        self.seed = seed
+        self.default = default or DiskFaults()
+        self.nodes = dict(nodes or {})
+        # xor-folded so the write-error stream never aliases the network
+        # plan's stream under a shared seed
+        self._rng = random.Random(seed ^ 0x5D15C0DE)
+        #: Fault bookkeeping, reported by the chaos harness.
+        self.write_errors = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "DiskFaultPlan":
+        """A plan that never interferes (and costs nothing)."""
+        return cls(seed=0)
+
+    @classmethod
+    def uniform(
+        cls,
+        seed: int,
+        torn_tail: float = 0.0,
+        write_error: float = 0.0,
+        bitrot: float = 0.0,
+    ) -> "DiskFaultPlan":
+        """Same fault rates on every node's disk."""
+        return cls(
+            seed=seed,
+            default=DiskFaults(torn_tail=torn_tail, write_error=write_error,
+                               bitrot=bitrot),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether the storage layer must consult this plan at all."""
+        if not self.default.quiet:
+            return True
+        return any(not f.quiet for f in self.nodes.values())
+
+    def faults_for(self, node: int) -> DiskFaults:
+        """The fault rates governing one node's disk."""
+        return self.nodes.get(node, self.default)
+
+    def write_fails(self, node: int) -> bool:
+        """Whether this flush attempt hits a transient write error.
+
+        Consumes an RNG draw, so must be called exactly once per
+        attempt, in simulator event order.
+        """
+        f = self.faults_for(node)
+        if not f.write_error:
+            return False
+        if self._rng.random() < f.write_error:
+            self.write_errors += 1
+            return True
+        return False
+
+    def torn_bytes(self, node: int, seq: int, nbytes: int) -> Optional[int]:
+        """Surviving byte-prefix length of an in-flight segment, or None.
+
+        ``None`` reproduces the ideal all-or-nothing rule (the whole
+        flush is lost); an integer in ``[0, nbytes)`` is how many bytes
+        of the segment a crash during this flush leaves on disk.  Pure
+        in ``(seed, node, seq)``.
+        """
+        f = self.faults_for(node)
+        if not f.torn_tail or nbytes <= 0:
+            return None
+        rng = random.Random(f"{self.seed}:{node}:{seq}:torn")
+        if rng.random() >= f.torn_tail:
+            return None
+        return rng.randrange(nbytes)
+
+    def bitrot_flip(self, node: int, seq: int,
+                    nbytes: int) -> Optional[Tuple[int, int]]:
+        """Latent ``(byte_offset, bit_mask)`` flip in a durable segment.
+
+        ``None`` means the segment is pristine.  Pure in
+        ``(seed, node, seq)``, so every examination of one segment sees
+        the same damage.
+        """
+        f = self.faults_for(node)
+        if not f.bitrot or nbytes <= 0:
+            return None
+        rng = random.Random(f"{self.seed}:{node}:{seq}:rot")
+        if rng.random() >= f.bitrot:
+            return None
+        return rng.randrange(nbytes), 1 << rng.randrange(8)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Injected-fault counts for reports and tests."""
+        return {"write_errors": self.write_errors}
+
+    def describe(self) -> str:
+        """One-line description used in chaos repro commands."""
+        d = self.default
+        return (
+            f"disk-seed={self.seed} torn={d.torn_tail:g} "
+            f"werr={d.write_error:g} bitrot={d.bitrot:g}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiskFaultPlan {self.describe()}>"

@@ -8,7 +8,7 @@ from repro.core.chaos import run_chaos_run, run_chaos_suite
 from repro.core.detector import FailureDetector
 from repro.dsm import DsmSystem
 from repro.errors import RecoveryError
-from repro.sim import FaultPlan
+from repro.sim import DiskFaultPlan, FaultPlan
 from tests.core.conftest import BarrierApp, LockApp
 
 
@@ -115,6 +115,83 @@ class TestChaosSuite:
         for c in cases:
             cmd = c.repro_command()
             assert "--seed 4" in cmd and "--crash-time" in cmd
+
+
+class TestDiskFaultByteIdentity:
+    """``DiskFaultPlan.none()`` must be byte-identical to no plan.
+
+    Same pinned guarantee as the network side: an inert disk plan draws
+    no randomness and adds no latency, so every paper number survives
+    the storage-fault machinery being wired in.
+    """
+
+    def fingerprint(self, small_cluster, plan):
+        system = DsmSystem(
+            make_app("sor", n=32, iters=3), small_cluster,
+            make_hooks_factory("ccl"), disk_fault_plan=plan,
+        )
+        r = system.run()
+        return (
+            r.total_time,
+            r.log_summaries,
+            [d["num_writes"] for d in r.disk_stats],
+            [bytes(n.memory.snapshot()) for n in system.nodes],
+        )
+
+    def test_stats_identical_with_and_without_plan(self, small_cluster):
+        bare = self.fingerprint(small_cluster, None)
+        inert = self.fingerprint(small_cluster, DiskFaultPlan.none())
+        assert bare == inert
+
+
+class TestChaosDiskFaults:
+    """Storage faults under chaos: bit-exact or diagnosed, never silent."""
+
+    def test_hard_write_errors_are_diagnosed_passes(self, small_cluster):
+        cases, _plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ml", seed=3,
+            crash_points=2, disk_rates={"write_error": 0.95},
+        )
+        assert cases and all(c.ok for c in cases)
+        # at this rate some node exhausts its retries: the run must be
+        # reported as a *diagnosed* storage fault, not a silent pass
+        assert any(c.detail.startswith("diagnosed:") for c in cases)
+        assert any("failed" in c.detail for c in cases)
+
+    def test_mixed_disk_faults_stay_bit_exact_or_diagnosed(self, small_cluster):
+        cases, _plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ccl", seed=5,
+            crash_points=3,
+            disk_rates={"torn_tail": 0.6, "write_error": 0.2, "bitrot": 0.3},
+        )
+        assert cases and all(c.ok for c in cases), [
+            (c.crash_time, c.detail) for c in cases if not c.ok
+        ]
+
+    def test_suite_with_disk_rates_passes(self, small_cluster):
+        report = run_chaos_suite(
+            {"barrier": lambda: BarrierApp(iters=2)},
+            small_cluster,
+            protocols=("ml", "ccl"),
+            seeds=2, crash_points=2,
+            disk_rates={"torn_tail": 0.4, "bitrot": 0.1},
+        )
+        assert report.ok, report.render()
+
+    def test_zero_disk_rates_are_dropped(self, small_cluster):
+        """rates of 0.0 must take the plan-free (byte-identical) path."""
+        bare = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ml", seed=7,
+            crash_points=2,
+        )[0]
+        zeroed = run_chaos_run(
+            lambda: BarrierApp(iters=2), small_cluster, "ml", seed=7,
+            crash_points=2,
+            disk_rates={"torn_tail": 0.0, "write_error": 0.0, "bitrot": 0.0},
+        )[0]
+        assert [(c.ok, c.stop_at, c.crash_time) for c in bare] == [
+            (c.ok, c.stop_at, c.crash_time) for c in zeroed
+        ]
 
 
 class TestLiveKillDetection:

@@ -1,4 +1,11 @@
-"""Unit tests for log-record size accounting."""
+"""Unit tests for log-record size accounting.
+
+Sizes are the *framed* on-disk sizes of :mod:`repro.core.logformat`:
+a 16-byte frame header plus a payload whose variable-width fields
+(vector clocks, page lists, diff lists) carry explicit counts.
+``test_logformat`` pins ``nbytes == len(encode_record(rec))``; these
+tests pin the arithmetic itself.
+"""
 
 import numpy as np
 
@@ -10,11 +17,13 @@ from repro.core import (
     PageCopyLogRecord,
     UpdateEventLogRecord,
 )
-from repro.core.logrecords import RECORD_HEADER_BYTES
+from repro.core.logrecords import FRAME_HEADER_BYTES
 from repro.dsm import IntervalRecord, VectorClock
 from repro.memory import Diff
 
 VT8 = VectorClock.zero(8)
+#: Encoded size of an 8-wide vector clock: u32 count + 8 components.
+VT8_BYTES = 4 + 32
 
 
 def small_diff(page=0, nwords=3):
@@ -24,13 +33,17 @@ def small_diff(page=0, nwords=3):
 def test_notice_record_size_sums_interval_records():
     r1 = IntervalRecord(0, 0, VT8, (1, 2))
     r2 = IntervalRecord(1, 0, VT8, (3,))
+    # u32 record count; each interval record pays a 4-byte vector count
+    # prefix over its wire size
     rec = NoticeLogRecord(0, 0, [r1, r2])
-    assert rec.nbytes == RECORD_HEADER_BYTES + r1.nbytes + r2.nbytes
+    assert rec.nbytes == (
+        FRAME_HEADER_BYTES + 4 + (r1.nbytes + 4) + (r2.nbytes + 4)
+    )
 
 
 def test_fetch_record_is_metadata_sized():
     rec = FetchLogRecord(0, 0, page=7, version=VT8)
-    assert rec.nbytes == RECORD_HEADER_BYTES + 4 + 32
+    assert rec.nbytes == FRAME_HEADER_BYTES + 4 + VT8_BYTES
     # the crucial CCL property: tiny compared to a page
     assert rec.nbytes < 64
 
@@ -38,30 +51,34 @@ def test_fetch_record_is_metadata_sized():
 def test_page_copy_record_carries_full_page():
     contents = np.zeros(4096, dtype=np.uint8)
     rec = PageCopyLogRecord(0, 0, page=7, contents=contents, version=VT8)
-    assert rec.nbytes == RECORD_HEADER_BYTES + 4 + 4096 + 32
+    assert rec.nbytes == FRAME_HEADER_BYTES + 8 + VT8_BYTES + 4096
     # the ML burden: two orders of magnitude bigger than a fetch record
     assert rec.nbytes > 50 * FetchLogRecord(0, 0, page=7, version=VT8).nbytes
 
 
-def test_update_event_record_is_12_bytes_per_page():
+def test_update_event_record_is_4_bytes_per_page():
     rec = UpdateEventLogRecord(
         0, 0, writer=3, writer_index=5, part=0, pages=(1, 2, 9)
     )
-    assert rec.nbytes == RECORD_HEADER_BYTES + 36
+    assert rec.nbytes == FRAME_HEADER_BYTES + 16 + 4 * 3
 
 
 def test_incoming_diff_record_carries_contents():
     d1, d2 = small_diff(0, 4), small_diff(1, 2)
     rec = IncomingDiffLogRecord(0, 0, writer=1, writer_index=0, vt=VT8,
                                 diffs=[d1, d2])
-    assert rec.nbytes == RECORD_HEADER_BYTES + 8 + 32 + d1.nbytes + d2.nbytes
+    assert rec.nbytes == (
+        FRAME_HEADER_BYTES + 12 + VT8_BYTES + d1.nbytes + d2.nbytes
+    )
 
 
 def test_own_diff_record_includes_home_diffs_and_lookup():
     d = small_diff(4)
     h = small_diff(9)
     rec = OwnDiffLogRecord(0, 0, vt_index=2, vt=VT8, diffs=[d], home_diffs=[h])
-    assert rec.nbytes == RECORD_HEADER_BYTES + 4 + 32 + d.nbytes + h.nbytes
+    assert rec.nbytes == (
+        FRAME_HEADER_BYTES + 16 + VT8_BYTES + d.nbytes + h.nbytes
+    )
     assert rec.find(4) == (d, VT8)
     assert rec.find(9) == (h, VT8)
     assert rec.find(123) is None
@@ -78,6 +95,6 @@ def test_own_diff_record_early_parts_lookup():
     assert rec.find(4, part=1) == (d_early, early_vt)
     assert rec.find(4, part=2) is None
     assert rec.nbytes == (
-        RECORD_HEADER_BYTES + 4 + 32 + d_end.nbytes
-        + 8 + d_early.nbytes + early_vt.nbytes
+        FRAME_HEADER_BYTES + 16 + VT8_BYTES + d_end.nbytes
+        + 4 + d_early.nbytes + (4 + early_vt.nbytes)
     )

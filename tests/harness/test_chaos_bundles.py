@@ -12,6 +12,7 @@ from repro.sim.trace import Tracer
 def _args(tmp_path) -> argparse.Namespace:
     return argparse.Namespace(
         drop=0.08, dup=0.08, delay_rate=0.12, reorder=0.12,
+        disk_torn=0.0, disk_write_error=0.0, disk_bitrot=0.0,
         runs_dir=str(tmp_path),
     )
 

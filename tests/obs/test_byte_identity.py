@@ -1,7 +1,8 @@
 """Tracing off must not perturb the simulation: pinned golden outputs.
 
-``golden_sor_test4.json`` was captured from the pre-telemetry tree
-(sor @ test scale, 4 nodes, protocols none/ml/ccl).  Every simulated
+``golden_sor_test4.json`` was captured with tracing disabled
+(sor @ test scale, 4 nodes, protocols none/ml/ccl; log volumes use the
+framed on-disk encoding of ``repro.core.logformat``).  Every simulated
 quantity -- counters, time buckets, network traffic, log volume, total
 time -- and the rendered Table 2 panel must stay bit-identical with
 tracing disabled (the default).  This is what lets the span

@@ -94,6 +94,24 @@ class TestSnapshotAndFromRun:
         hist = reg.get("repro_span_duration_seconds", cat="sync")
         assert hist is not None and hist["count"] > 0
 
+    def test_from_run_exports_log_and_disk_families(self, run):
+        result, tracer = run
+        reg = MetricsRegistry.from_run(result, tracer)
+        live = sum(s.get("live_log_bytes", 0) for s in result.log_summaries)
+        reclaimed = sum(
+            s.get("reclaimed_bytes", 0) for s in result.log_summaries
+        )
+        assert reg.get("repro_log_live_bytes") == float(live)
+        assert reg.get("repro_log_reclaimed_bytes") == float(reclaimed)
+        # per-op disk latency histograms, one series per op kind
+        writes = sum(d["num_writes"] for d in result.disk_stats)
+        hist_count = sum(
+            (reg.get("repro_disk_op_latency_seconds", kind="write",
+                     disk=d["name"]) or {"count": 0})["count"]
+            for d in result.disk_stats
+        )
+        assert hist_count == writes > 0
+
     def test_snapshot_is_json_safe_and_round_trips(self, run):
         import json
 

@@ -50,15 +50,65 @@ def test_operations_queue_fifo():
     times = []
 
     def body():
-        a = disk.write(0)
-        b = disk.read(0)
+        a = disk.write(1_000_000)
+        b = disk.read(1_000_000)
         ta = yield a
         tb = yield b
         times.extend([ta, tb])
 
     sim.spawn(body(), name="p")
     sim.run()
-    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert times == [pytest.approx(2.0), pytest.approx(4.0)]
+
+
+def test_zero_byte_ops_complete_immediately():
+    """write(0)/read(0) are free: no latency charge, no queueing."""
+    sim = Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=1.0, write_latency_s=1.0, bandwidth_bps=1e6),
+    )
+    times = []
+
+    def body():
+        t0 = sim.now
+        yield disk.write(0)
+        yield disk.read(0)
+        yield disk.read_seq(0)
+        yield disk.read_cached(0)
+        times.append(sim.now - t0)
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert times == [0.0]
+    assert disk.num_writes == 1 and disk.num_reads == 3
+    assert disk.bytes_written == 0 and disk.bytes_read == 0
+    assert disk.busy_time == 0.0
+    assert disk.op_latencies == {
+        "write": [0.0], "read": [0.0], "read_seq": [0.0], "read_cached": [0.0],
+    }
+
+
+def test_op_latencies_include_queueing():
+    sim = Simulator()
+    disk = Disk(
+        sim,
+        DiskConfig(access_latency_s=1.0, write_latency_s=1.0, bandwidth_bps=1e6),
+    )
+
+    def body():
+        a = disk.write(1_000_000)  # 1.0 latency + 1.0 transfer
+        b = disk.read(1_000_000)   # queued behind a
+        yield a
+        yield b
+
+    sim.spawn(body(), name="p")
+    sim.run()
+    assert disk.op_latencies["write"] == [pytest.approx(2.0)]
+    assert disk.op_latencies["read"] == [pytest.approx(4.0)]
+    summary = disk.summary()
+    assert summary["num_writes"] == 1
+    assert summary["op_latencies"]["read"] == [pytest.approx(4.0)]
 
 
 def test_async_write_overlaps_with_caller():

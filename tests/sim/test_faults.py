@@ -4,7 +4,15 @@ import pytest
 
 from repro.config import NetworkConfig
 from repro.errors import SimulationError
-from repro.sim import FaultPlan, LinkFaults, NetMessage, Network, Simulator
+from repro.sim import (
+    DiskFaultPlan,
+    DiskFaults,
+    FaultPlan,
+    LinkFaults,
+    NetMessage,
+    Network,
+    Simulator,
+)
 
 
 def make_net(sim, plan=None, num_nodes=4, **kw):
@@ -142,3 +150,79 @@ class TestFaultedNetwork:
         got = self.msgs(net, sim, n=5)
         assert got == []
         assert plan.dead_discards == 5
+
+
+class TestDiskFaults:
+    def test_probabilities_are_validated(self):
+        with pytest.raises(SimulationError):
+            DiskFaults(torn_tail=1.5)
+        with pytest.raises(SimulationError):
+            DiskFaults(write_error=-0.1)
+        with pytest.raises(SimulationError):
+            DiskFaults(bitrot=2.0)
+        with pytest.raises(SimulationError):
+            DiskFaults(max_retries=-1)
+        with pytest.raises(SimulationError):
+            DiskFaults(retry_backoff_s=-1e-6)
+
+    def test_quiet(self):
+        assert DiskFaults().quiet
+        assert not DiskFaults(torn_tail=0.1).quiet
+        assert not DiskFaults(write_error=0.1).quiet
+        assert not DiskFaults(bitrot=0.1).quiet
+
+
+class TestDiskFaultPlan:
+    def test_none_is_inactive(self):
+        assert not DiskFaultPlan.none().active
+
+    def test_uniform_is_active(self):
+        assert DiskFaultPlan.uniform(0, torn_tail=0.1).active
+
+    def test_per_node_override_activates(self):
+        plan = DiskFaultPlan(seed=0, nodes={2: DiskFaults(bitrot=0.5)})
+        assert plan.active
+        assert plan.faults_for(2).bitrot == 0.5
+        assert plan.faults_for(0).quiet
+
+    def test_torn_bytes_is_pure_in_seed_node_seq(self):
+        plan = DiskFaultPlan.uniform(11, torn_tail=0.7)
+        draws = [plan.torn_bytes(1, s, 500) for s in range(50)]
+        again = DiskFaultPlan.uniform(11, torn_tail=0.7)
+        assert draws == [again.torn_bytes(1, s, 500) for s in range(50)]
+        # mixed outcome at this rate, and every tear is a proper prefix
+        assert any(d is None for d in draws)
+        survived = [d for d in draws if d is not None]
+        assert survived and all(0 <= d < 500 for d in survived)
+        # different node -> independent stream
+        assert draws != [plan.torn_bytes(2, s, 500) for s in range(50)]
+
+    def test_bitrot_flip_is_pure_and_single_bit(self):
+        plan = DiskFaultPlan.uniform(5, bitrot=0.6)
+        draws = [plan.bitrot_flip(0, s, 256) for s in range(50)]
+        assert draws == [plan.bitrot_flip(0, s, 256) for s in range(50)]
+        flips = [d for d in draws if d is not None]
+        assert flips
+        for off, mask in flips:
+            assert 0 <= off < 256
+            assert mask in {1 << b for b in range(8)}
+
+    def test_zero_rates_draw_nothing(self):
+        plan = DiskFaultPlan.none()
+        assert plan.torn_bytes(0, 0, 100) is None
+        assert plan.bitrot_flip(0, 0, 100) is None
+        assert not plan.write_fails(0)
+        assert plan.write_errors == 0
+
+    def test_write_fails_stream_is_seeded(self):
+        a = DiskFaultPlan.uniform(9, write_error=0.5)
+        b = DiskFaultPlan.uniform(9, write_error=0.5)
+        seq = [a.write_fails(0) for _ in range(100)]
+        assert seq == [b.write_fails(0) for _ in range(100)]
+        assert a.write_errors == sum(seq) > 0
+        assert a.summary() == {"write_errors": a.write_errors}
+
+    def test_describe_carries_the_rates(self):
+        text = DiskFaultPlan.uniform(4, torn_tail=0.25, bitrot=0.1).describe()
+        assert "disk-seed=4" in text
+        assert "torn=0.25" in text and "bitrot=0.1" in text

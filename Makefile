@@ -18,6 +18,7 @@ lint:
 		echo "ruff not installed; skipping style check"; \
 	fi
 	$(PYTHON) -m repro.analysis.lint src/repro
+	$(PYTHON) -m repro.analysis.protoflow src/repro/dsm
 
 sanitize:
 	$(PYTHON) -m pytest -x -q --sanitize

@@ -44,6 +44,10 @@ def test_micro_kernels(benchmark, save_artifact):
     # The headline acceptance number: merging two dense full-page diffs
     # must beat the per-word reference by a wide margin.
     assert data["merge_diffs_dense_fullpage"]["speedup"] >= 5.0
+    # The dense-apply fast path (cached span + slice copy) must at least
+    # keep parity with the reference's run loop; it regressed to 0.89x
+    # once when per-call numpy-scalar extraction crept in.
+    assert data["apply_diff_dense"]["speedup"] >= 0.95
 
 
 def main(argv=None) -> int:

@@ -9,12 +9,21 @@ catalogue):
   fetched page version is derivable from the initial image plus logged
   diffs (the paper's recoverability claim, machine-checked);
 * :mod:`repro.analysis.lint` -- AST lint pass for simulator-specific
-  hazards (``python -m repro.analysis.lint``).
+  hazards (``python -m repro.analysis.lint``);
+* :mod:`repro.analysis.protoflow` -- static message-flow conformance:
+  the send/handler graph extracted from ``dsm/`` checked against the
+  declared protocol table (``python -m repro.analysis.protoflow``);
+* :mod:`repro.analysis.modelcheck` -- small-scope model checker:
+  exhaustive delivery-schedule exploration with sleep-set partial-order
+  reduction plus bit-exact recovery from every reachable crash point
+  (``python -m repro modelcheck``).
 
 :mod:`repro.analysis.sanitize` wires the first two into every
 ``DsmSystem.run`` call; the test suite enables it with
 ``pytest --sanitize``.
 """
+
+from typing import Any
 
 from .invariants import (
     InvariantChecker,
@@ -26,6 +35,29 @@ from .invariants import (
 from .recoverability import Problem, RecoverabilityReport, audit_recoverability
 from .sanitize import install as install_sanitizer
 
+#: Lazy exports (PEP 562): keeps ``python -m repro.analysis.lint`` /
+#: ``.protoflow`` free of runpy double-import warnings.
+_LAZY = {
+    "is_suppressed": ("lint", "is_suppressed"),
+    "McReport": ("modelcheck", "McReport"),
+    "McViolation": ("modelcheck", "McViolation"),
+    "ModelChecker": ("modelcheck", "ModelChecker"),
+    "run_modelcheck": ("modelcheck", "run_modelcheck"),
+    "analyze_paths": ("protoflow", "analyze_paths"),
+    "analyze_source": ("protoflow", "analyze_source"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), attr)
+
+
 __all__ = [
     "InvariantChecker",
     "InvariantReport",
@@ -36,4 +68,11 @@ __all__ = [
     "RecoverabilityReport",
     "audit_recoverability",
     "install_sanitizer",
+    "is_suppressed",
+    "McReport",
+    "McViolation",
+    "ModelChecker",
+    "run_modelcheck",
+    "analyze_paths",
+    "analyze_source",
 ]

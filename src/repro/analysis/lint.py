@@ -29,22 +29,46 @@ Rules:
   and ``--json`` stay honest.  The console module itself (the one
   place allowed to touch stdout) is exempt by filename.
 
-A finding can be suppressed by ending its line with ``# lint: ignore``.
+A finding can be suppressed by ending its line with ``# lint: ignore``
+(blanket) or ``# lint: ignore[DET001]`` / ``# lint: ignore[DET001,
+OBS001]`` (scoped to the listed codes -- preferred, so the suppression
+cannot hide an unrelated finding that later lands on the same line).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Sequence
 
 from ..obs.console import get_console
 
-__all__ = ["Finding", "lint_source", "lint_paths", "main"]
+__all__ = ["Finding", "is_suppressed", "lint_source", "lint_paths", "main"]
 
 SUPPRESS_MARKER = "lint: ignore"
+#: ``# lint: ignore`` with an optional ``[CODE, CODE...]`` scope.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+def is_suppressed(lines: Sequence[str], line: int, code: str) -> bool:
+    """True when 1-indexed ``line`` carries a marker suppressing ``code``.
+
+    A bare ``# lint: ignore`` (optionally followed by prose) suppresses
+    everything on the line; ``# lint: ignore[A,B]`` suppresses exactly
+    the listed codes.
+    """
+    if not (1 <= line <= len(lines)):
+        return False
+    m = _SUPPRESS_RE.search(lines[line - 1])
+    if m is None:
+        return False
+    if m.group(1) is None:
+        return True  # blanket suppression
+    scoped = {c.strip() for c in m.group(1).split(",") if c.strip()}
+    return code in scoped
 
 #: ``time`` attributes that read the host wall clock.
 WALL_CLOCK_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns",
@@ -140,7 +164,7 @@ class _Linter(ast.NodeVisitor):
     # -- bookkeeping ---------------------------------------------------
     def _add(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 0)
-        if 1 <= line <= len(self.lines) and SUPPRESS_MARKER in self.lines[line - 1]:
+        if is_suppressed(self.lines, line, code):
             return
         self.findings.append(
             Finding(self.path, line, getattr(node, "col_offset", 0) + 1,

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.logrecords import (
     FetchLogRecord,
@@ -103,7 +103,7 @@ class RecoverabilityReport:
             )
 
 
-def _node_log(node):
+def _node_log(node: Any) -> Optional[Any]:
     return getattr(node.hooks, "log", None)
 
 

@@ -22,7 +22,7 @@ the whole session when invoked as ``pytest --sanitize``.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from ..dsm.system import DsmSystem
 from .invariants import check_trace
@@ -30,7 +30,7 @@ from .recoverability import audit_recoverability
 
 __all__ = ["install", "is_installed", "traced"]
 
-_original_run: Optional[Callable] = None
+_original_run: Optional[Callable[..., Any]] = None
 
 
 def is_installed() -> bool:
@@ -51,7 +51,8 @@ def install() -> Callable[[], None]:
     original = DsmSystem.run
     _original_run = original
 
-    def run_sanitized(self, kill_node=None, kill_at=None):
+    def run_sanitized(self: DsmSystem, kill_node: Optional[int] = None,
+                      kill_at: Optional[float] = None) -> Any:
         was_enabled = self.tracer.enabled
         self.tracer.enabled = True
         try:
@@ -91,7 +92,8 @@ def traced() -> Iterator[None]:
     """
     original = DsmSystem.run
 
-    def run_traced(self, kill_node=None, kill_at=None):
+    def run_traced(self: DsmSystem, kill_node: Optional[int] = None,
+                   kill_at: Optional[float] = None) -> Any:
         self.tracer.enabled = True
         return original(self, kill_node=kill_node, kill_at=kill_at)
 

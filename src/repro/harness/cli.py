@@ -11,6 +11,7 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro perf   [--out BENCH_perf.json]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
     python -m repro chaos  [--seeds 13] [--crash-points 5] [--seed N ...]
+    python -m repro modelcheck [--program lock] [--nodes 2] [--pages 1]
     python -m repro timeline [runs/<id> | trace.jsonl]
     python -m repro critical-path [runs/<id> | trace.jsonl]
     python -m repro compare runs/<A> runs/<B>
@@ -49,8 +50,8 @@ __all__ = ["main"]
 
 COMMANDS = [
     "table1", "table2", "fig4", "fig5", "breakdown", "report", "analyze",
-    "ablation", "perf", "chaos", "timeline", "critical-path", "compare",
-    "all",
+    "ablation", "perf", "chaos", "modelcheck", "timeline", "critical-path",
+    "compare", "all",
 ]
 
 
@@ -65,8 +66,10 @@ def _parser() -> argparse.ArgumentParser:
         choices=COMMANDS,
         help="which artefact to regenerate ('analyze' runs the coherence "
              "sanitizer, 'perf' the microbenchmark suite, 'chaos' the "
-             "seeded fault-injection/recovery property suite; 'timeline', "
-             "'critical-path' and 'compare' work on run-artifact bundles)",
+             "seeded fault-injection/recovery property suite, 'modelcheck' "
+             "the exhaustive small-scope schedule/crash explorer; "
+             "'timeline', 'critical-path' and 'compare' work on "
+             "run-artifact bundles)",
     )
     p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
                    help="analyze/timeline/critical-path: a saved JSONL "
@@ -168,6 +171,32 @@ def _parser() -> argparse.ArgumentParser:
                             "faulted trace")
     chaos.add_argument("--fail-fast", action="store_true",
                        help="stop at the first failing case")
+    mc = p.add_argument_group(
+        "modelcheck", "small-scope exhaustive schedule/crash exploration"
+    )
+    mc.add_argument("--program", default="lock",
+                    choices=["lock", "barrier"],
+                    help="bounded program to explore (lock: contended "
+                         "increments under one lock; barrier: disjoint "
+                         "writes then neighbour reads)")
+    mc.add_argument("--pages", type=int, default=1,
+                    help="shared pages in the bounded config (1-2)")
+    mc.add_argument("--budget", type=int, default=5000,
+                    help="max schedules (explored + pruned) before the "
+                         "exploration reports TRUNCATED")
+    mc.add_argument("--no-dpor", action="store_true",
+                    help="disable the sleep-set partial-order reduction "
+                         "(explores all interleavings, not one per trace)")
+    mc.add_argument("--no-recovery", action="store_true",
+                    help="skip per-crash-point recovery checks (live "
+                         "invariants only)")
+    mc.add_argument("--allow-truncated", action="store_true",
+                    help="exit 0 on a violation-free but budget-truncated "
+                         "exploration (coverage run, not a proof; the "
+                         "nightly 4-node sweeps use this)")
+    mc.add_argument("--schedule", default=None, metavar="D.D.D",
+                    help="replay exactly one delivery schedule (the "
+                         "repro path a violation prints)")
     return p
 
 
@@ -214,6 +243,11 @@ def _dispatch(args, con) -> int:
         from .chaoscmd import run_chaos
 
         return run_chaos(args)
+
+    if args.command == "modelcheck":
+        from .modelcheckcmd import run_modelcheck_cmd
+
+        return run_modelcheck_cmd(args)
 
     if args.command == "analyze":
         from .analyze import run_analyze

@@ -73,11 +73,12 @@ class Diff:
     tests do) stays coherent with the flat form.
     """
 
-    __slots__ = ("page", "offsets", "words", "_runs")
+    __slots__ = ("page", "offsets", "words", "_runs", "_span")
 
     def __init__(self, page: int, runs: Optional[List[Tuple[int, np.ndarray]]] = None):
         self.page = page
         self._runs: Optional[List[Tuple[int, np.ndarray]]] = None
+        self._span: Optional[Tuple[int, int, bool]] = None
         if not runs:
             self.offsets = _EMPTY_OFFSETS
             self.words = _EMPTY_WORDS
@@ -103,7 +104,28 @@ class Diff:
         d.offsets = offsets
         d.words = words
         d._runs = None
+        d._span = None
         return d
+
+    def span(self) -> Tuple[int, int, bool]:
+        """``(first, last, dense)`` word-offset bounds, cached.
+
+        ``dense`` is True when the diff is one contiguous run.  The same
+        diff is applied more than once on the hot path (home copy and
+        twin, plus recovery replays), so the numpy-scalar extraction is
+        paid once per diff instead of once per apply.  ``(0, -1, False)``
+        for an empty diff.
+        """
+        span = self._span
+        if span is None:
+            if self.offsets.size == 0:
+                span = (0, -1, False)
+            else:
+                first = int(self.offsets[0])
+                last = int(self.offsets[-1])
+                span = (first, last, last - first + 1 == self.offsets.size)
+            self._span = span
+        return span
 
     @property
     def word_count(self) -> int:
@@ -225,22 +247,20 @@ def merge_diffs(first: Diff, second: Diff) -> Diff:
 def apply_diff(diff: Diff, target: np.ndarray) -> int:
     """Write the diff's words into ``target`` (1-D uint8); returns words applied."""
     tw = _as_words(target)
-    offsets = diff.offsets
-    if offsets.size == 0:
+    first, last, dense = diff.span()
+    if last < 0:
         return 0
-    first = int(offsets[0])
-    last = int(offsets[-1])
     if first < 0 or last >= tw.size:
         raise DiffError(
             f"diff words [{first}, {last}] outside page of {tw.size} words"
         )
-    if last - first + 1 == offsets.size:
+    if dense:
         # one dense run (the common shape for array-section writes):
         # a straight slice copy beats fancy indexing
         tw[first : last + 1] = diff.words
-    else:
-        tw[offsets] = diff.words
-    return int(offsets.size)
+        return last - first + 1
+    tw[diff.offsets] = diff.words
+    return int(diff.offsets.size)
 
 
 # ----------------------------------------------------------------------

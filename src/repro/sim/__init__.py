@@ -8,17 +8,19 @@ DSM cluster runs: coroutine-style simulated processes
 statistics collection.
 """
 
-from .engine import Simulator
+from .engine import PendingChoice, Simulator
 from .events import AllOf, Signal, Timeout
 from .process import SimProcess
 from .resources import FifoServer, Mailbox
 from .faults import DiskFaultPlan, DiskFaults, FaultPlan, LinkFaults
-from .network import Network, NetMessage
+from .network import DeliveryLabel, Network, NetMessage
 from .disk import Disk
 from .stats import Counter, NodeStats, TimeBreakdown
 
 __all__ = [
     "Simulator",
+    "PendingChoice",
+    "DeliveryLabel",
     "Signal",
     "Timeout",
     "AllOf",

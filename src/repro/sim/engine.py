@@ -15,7 +15,32 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from ..errors import DeadlockError, SimulationError
 from .process import SimProcess
 
-__all__ = ["Simulator"]
+__all__ = ["PendingChoice", "Simulator"]
+
+
+class PendingChoice:
+    """A labelled event held back for a controlled scheduler.
+
+    When a :class:`Simulator` runs under a ``choice_fn`` (see
+    :meth:`Simulator.run`), events scheduled through
+    :meth:`Simulator.schedule_labeled` are parked here instead of the
+    heap.  The label identifies the event to the scheduler (the model
+    checker keys on it for partial-order reduction); ``time`` is the
+    instant the event would have fired under the default policy.
+    """
+
+    __slots__ = ("label", "time", "seq", "fn")
+
+    def __init__(
+        self, label: Any, time: float, seq: int, fn: Callable[[], None]
+    ):
+        self.label = label
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PendingChoice({self.label!r} @ {self.time:.6f})"
 
 
 class Simulator:
@@ -39,6 +64,15 @@ class Simulator:
         self._seq = 0
         self._processes: List[SimProcess] = []
         self._running = False
+        #: Controlled-scheduler hook.  When set, labelled events (see
+        #: :meth:`schedule_labeled`) are *not* heap-ordered; instead,
+        #: whenever the heap drains, ``choice_fn(pending)`` picks which
+        #: labelled event fires next (``None`` stops the run).  The model
+        #: checker uses this to enumerate delivery interleavings.
+        self.choice_fn: Optional[
+            Callable[[List[PendingChoice]], Optional[PendingChoice]]
+        ] = None
+        self._choices: List[PendingChoice] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -49,6 +83,25 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+
+    def schedule_labeled(
+        self, delay: float, fn: Callable[[], None], label: Any
+    ) -> None:
+        """Schedule ``fn`` as a *choice point* when under a controlled
+        scheduler; identical to :meth:`schedule` otherwise.
+
+        The label carries whatever identity the scheduler needs (the
+        network uses a :class:`~repro.sim.network.DeliveryLabel`).
+        """
+        if self.choice_fn is None:
+            self.schedule(delay, fn)
+            return
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        self._choices.append(
+            PendingChoice(label, self.now + delay, self._seq, fn)
+        )
 
     def spawn(
         self, gen: Generator[Any, Any, Any], name: str = "proc"
@@ -82,16 +135,34 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         try:
-            while self._heap:
-                t, _seq, fn = self._heap[0]
-                if until is not None and t > until:
-                    self.now = until
-                    return self.now
-                heapq.heappop(self._heap)
-                if t < self.now:  # pragma: no cover - guarded by schedule()
-                    raise SimulationError("time went backwards")
-                self.now = t
-                fn()
+            while True:
+                while self._heap:
+                    t, _seq, fn = self._heap[0]
+                    if until is not None and t > until:
+                        self.now = until
+                        return self.now
+                    heapq.heappop(self._heap)
+                    if t < self.now:  # pragma: no cover - guarded by schedule()
+                        raise SimulationError("time went backwards")
+                    self.now = t
+                    fn()
+                # Heap drained: consult the controlled scheduler, if any.
+                # Only when every eager (unlabelled) event has executed is
+                # a labelled event picked -- so each choice point sees the
+                # system quiescent except for held-back deliveries.
+                if self.choice_fn is None or not self._choices:
+                    break
+                chosen = self.choice_fn(list(self._choices))
+                if chosen is None:
+                    break
+                self._choices.remove(chosen)
+                # The clock may already have run past the event's natural
+                # firing time (an earlier choice delayed it); deliveries
+                # commute with the events in between, so clamping forward
+                # preserves causality.
+                if chosen.time > self.now:
+                    self.now = chosen.time
+                chosen.fn()
         finally:
             self._running = False
         if detect_deadlock:

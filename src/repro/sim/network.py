@@ -27,7 +27,40 @@ from .events import Signal, Timeout
 from .faults import FaultPlan
 from .resources import FifoServer, Mailbox
 
-__all__ = ["NetMessage", "Network"]
+__all__ = ["DeliveryLabel", "NetMessage", "Network"]
+
+
+@dataclass(frozen=True)
+class DeliveryLabel:
+    """Identity of one held-back delivery under a controlled scheduler.
+
+    ``link_seq`` numbers messages per ``(src, dst)`` link in post order;
+    because the base network is FIFO per link (one NIC queue, constant
+    latency), only the lowest undelivered ``link_seq`` on each link is
+    *enabled*.  ``pages`` lists the page ids the payload touches (empty
+    for pure control traffic) so the model checker's commutativity
+    oracle can reason about data overlap.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    link_seq: int
+    pages: tuple = ()
+
+
+def _payload_pages(payload: Any) -> tuple:
+    """Best-effort extraction of the page ids a payload refers to."""
+    page = getattr(payload, "page", None)
+    if isinstance(page, int):
+        return (page,)
+    diffs = getattr(payload, "diffs", None)
+    if diffs is not None:
+        try:
+            return tuple(sorted({d.page for d in diffs}))
+        except (AttributeError, TypeError):
+            return ()
+    return ()
 
 
 @dataclass
@@ -93,6 +126,9 @@ class Network:
         self.tracer: Optional[Any] = None
         self._nics = [FifoServer(sim, f"nic{i}") for i in range(num_nodes)]
         self._mailboxes = [Mailbox(sim, f"mbox{i}") for i in range(num_nodes)]
+        #: Per-(src, dst) post counters backing ``DeliveryLabel.link_seq``
+        #: in controlled-scheduler runs; untouched on the normal path.
+        self._link_seq: Dict[tuple, int] = {}
         self.bytes_sent: List[int] = [0] * num_nodes
         self.msgs_sent: List[int] = [0] * num_nodes
         self.bytes_by_kind: Dict[str, int] = {}
@@ -137,9 +173,24 @@ class Network:
         extra = self.config.latency_s + self.config.recv_overhead_s
 
         if not self._faulty:
+            if self.sim.choice_fn is not None:
+                link = (msg.src, msg.dst)
+                seq = self._link_seq.get(link, 0)
+                self._link_seq[link] = seq + 1
+                label = DeliveryLabel(
+                    msg.src, msg.dst, msg.kind, seq, _payload_pages(msg.payload)
+                )
 
-            def on_tx(_finish: Any) -> None:
-                self.sim.schedule(extra, lambda: self._deliver(msg, delivered))
+                def on_tx(_finish: Any) -> None:
+                    self.sim.schedule_labeled(
+                        extra, lambda: self._deliver(msg, delivered), label
+                    )
+
+            else:
+
+                def on_tx(_finish: Any) -> None:
+                    self.sim.schedule(
+                        extra, lambda: self._deliver(msg, delivered))
 
         else:
             plan = self.fault_plan

@@ -177,13 +177,61 @@ class TestObs001:
         """) == []
 
 
-class TestHarness:
-    def test_suppression_marker(self):
+class TestSuppression:
+    def test_blanket_marker_silences_everything(self):
         assert codes("""
             import time
             def now():
                 return time.time()  # lint: ignore
         """) == []
+
+    def test_blanket_marker_with_trailing_prose(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()  # lint: ignore - timing the host
+        """) == []
+
+    def test_scoped_marker_silences_listed_code(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()  # lint: ignore[DET001]
+        """) == []
+
+    def test_scoped_marker_leaves_other_codes_alone(self):
+        assert codes("""
+            import time
+            def now():
+                print(time.time())  # lint: ignore[DET001]
+        """) == ["OBS001"]
+
+    def test_scoped_marker_accepts_a_code_list(self):
+        assert codes("""
+            import time
+            def now():
+                print(time.time())  # lint: ignore[DET001, OBS001]
+        """) == []
+
+    def test_scoped_marker_for_wrong_code_does_not_apply(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()  # lint: ignore[OBS001]
+        """) == ["DET001"]
+
+    def test_is_suppressed_helper(self):
+        from repro.analysis.lint import is_suppressed
+
+        lines = ["x = 1  # lint: ignore[DET001,OBS001]", "y = 2"]
+        assert is_suppressed(lines, 1, "DET001")
+        assert is_suppressed(lines, 1, "OBS001")
+        assert not is_suppressed(lines, 1, "BLK001")
+        assert not is_suppressed(lines, 2, "DET001")
+        assert not is_suppressed(lines, 99, "DET001")  # out of range
+
+
+class TestHarness:
 
     def test_finding_format_is_clickable(self):
         finding = lint_source("import time\ntime.sleep(1)\n", "x.py")[0]

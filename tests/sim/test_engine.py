@@ -257,3 +257,73 @@ def test_spawn_during_run_executes_new_process():
     sim.spawn(spawner(), name="spawner")
     sim.run()
     assert seen == [6.0]
+
+
+# ----------------------------------------------------------------------
+# controlled scheduler (schedule_labeled + choice_fn)
+# ----------------------------------------------------------------------
+def test_schedule_labeled_without_choice_fn_is_plain_schedule():
+    sim = Simulator()
+    seen = []
+    sim.schedule_labeled(2.0, lambda: seen.append(("b", sim.now)), "b")
+    sim.schedule_labeled(1.0, lambda: seen.append(("a", sim.now)), "a")
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0)]
+    assert sim._choices == []
+
+
+def test_schedule_labeled_negative_delay_rejected_under_choice_fn():
+    sim = Simulator()
+    sim.choice_fn = lambda choices: None
+    with pytest.raises(SimulationError):
+        sim.schedule_labeled(-0.5, lambda: None, "x")
+
+
+def test_choice_fn_controls_delivery_order():
+    sim = Simulator()
+    seen = []
+    # pick held-back events in reverse label order, against their times
+    sim.choice_fn = lambda cs: max(cs, key=lambda c: c.label)
+    sim.schedule_labeled(1.0, lambda: seen.append("a"), "a")
+    sim.schedule_labeled(2.0, lambda: seen.append("b"), "b")
+    sim.schedule_labeled(3.0, lambda: seen.append("c"), "c")
+    sim.run()
+    assert seen == ["c", "b", "a"]
+
+
+def test_choice_fn_clock_clamps_forward_only():
+    sim = Simulator()
+    times = []
+    sim.choice_fn = lambda cs: max(cs, key=lambda c: c.time)
+    sim.schedule_labeled(1.0, lambda: times.append(sim.now), "early")
+    sim.schedule_labeled(5.0, lambda: times.append(sim.now), "late")
+    sim.run()
+    # the late event runs first at t=5; the early one must not rewind
+    assert times == [5.0, 5.0]
+
+
+def test_choice_fn_returning_none_leaves_choices_parked():
+    sim = Simulator()
+    seen = []
+    sim.choice_fn = lambda cs: None
+    sim.schedule_labeled(1.0, lambda: seen.append("a"), "a")
+    sim.run()
+    assert seen == []
+    assert [c.label for c in sim._choices] == ["a"]
+
+
+def test_choice_fn_interleaves_with_heap_events():
+    sim = Simulator()
+    seen = []
+    sim.choice_fn = lambda cs: cs[0]
+
+    def chosen():
+        seen.append(("chosen", sim.now))
+        # a chosen delivery may schedule ordinary follow-up work
+        sim.schedule(1.0, lambda: seen.append(("followup", sim.now)))
+
+    sim.schedule(1.0, lambda: seen.append(("heap", sim.now)))
+    sim.schedule_labeled(2.0, chosen, "d")
+    sim.run()
+    # heap drains first, then the parked choice fires, then its follow-up
+    assert seen == [("heap", 1.0), ("chosen", 2.0), ("followup", 3.0)]

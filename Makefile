@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint sanitize test bench perf bench-parallel
+.PHONY: check lint sanitize test bench perf perf-gate bench-parallel
 
 JOBS ?= $(shell nproc 2>/dev/null || echo 4)
 
@@ -33,6 +33,13 @@ bench:
 # end-to-end app wall times, written to BENCH_perf.json.
 perf:
 	$(PYTHON) -m repro perf
+
+# Perf regression gate: re-times the hot kernels + the simulator event
+# loop and fails on a >10% regression vs the last committed entry of
+# benchmark_results/history.jsonl.  Run on a quiet machine comparable
+# to the one that recorded the baseline (CI uses a looser tolerance).
+perf-gate:
+	$(PYTHON) benchmarks/check_perf_gate.py
 
 # The paper's figures and both ablations, fanned out over all cores.
 # Output is byte-identical to serial runs (see docs/performance.md).

@@ -84,7 +84,8 @@ def test_obs_overhead(benchmark, ultra5, save_artifact):
     benchmark.extra_info.update(
         {k: round(v, 3) if isinstance(v, float) else v for k, v in times.items()}
     )
-    # recording + analysis must stay within an order of magnitude of the
-    # untraced run (shared CI runners: keep the bound loose)
-    assert times["spans_s"] < 10 * max(times["off_s"], 0.05)
-    assert times["exported_s"] < 20 * max(times["off_s"], 0.05)
+    # With lazy span construction (module-level TRACING_ACTIVE flag plus
+    # site-level guards on detail-dict builds), recording costs <2x the
+    # untraced run locally; bound at 3x/5x for shared CI runners.
+    assert times["spans_s"] < 3 * max(times["off_s"], 0.05)
+    assert times["exported_s"] < 5 * max(times["off_s"], 0.05)

@@ -1,0 +1,176 @@
+"""The CI perf gate: fail on regression against the committed trajectory.
+
+Re-times the hot kernels and the simulator event loop, then compares
+against the most recent entries of ``benchmark_results/history.jsonl``
+(the committed perf trajectory that every ``python -m repro perf`` run
+appends to) that recorded each metric.  The gate fails (exit 1) when,
+beyond ``--tolerance`` (default 10%):
+
+* ``sim_event_throughput`` (events/s) dropped -- the event-loop
+  rewrite's headline number; or
+* any *parity-gated* kernel (the diff/encode kernels that have a
+  preserved reference oracle, see ``bench_micro.py --check``) got
+  slower in ns/op.
+
+Timings are best-of-N on the current host, so the comparison is only
+meaningful against a baseline recorded on comparable hardware: CI runs
+this with a loose tolerance to catch order-of-magnitude regressions
+(shared runners vary), while ``make perf-gate`` enforces the strict
+default on a quiet dev box against its own committed numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_gate.py \
+        [--history benchmark_results/history.jsonl] \
+        [--repeat 5] [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.harness.perf import run_kernel_benchmarks  # noqa: E402
+
+#: Kernels with a preserved pre-vectorisation reference oracle; these
+#: are the ones whose speedups the campaign claims, so they are the
+#: ones the gate refuses to let slide.
+PARITY_GATED_KERNELS = [
+    "create_diff_dense",
+    "create_diff_scattered",
+    "merge_diffs_dense_fullpage",
+    "merge_diffs_scattered",
+    "apply_diff_dense",
+    "apply_diff_scattered",
+    "stablelog_encode",
+]
+
+
+def load_baseline(path: str) -> tuple:
+    """Baseline (kernel entry, throughput entry) from the trajectory.
+
+    Headline-only ``repro perf --target`` entries carry no kernel
+    timings (and pre-campaign entries carry no events/s), so each
+    metric family baselines against the most recent entry that actually
+    recorded it.
+    """
+    with open(path) as fh:
+        entries = [json.loads(ln) for ln in fh.read().splitlines() if ln.strip()]
+    if not entries:
+        raise SystemExit(f"perf-gate: {path} is empty -- run `python -m repro perf`")
+    kernels = next(
+        (e for e in reversed(entries) if e.get("kernels_ns_per_op")), {}
+    )
+    sim = next(
+        (e for e in reversed(entries) if e.get("sim_events_per_sec")), {}
+    )
+    return kernels, sim
+
+
+def merge_best(best: dict, cur: dict) -> dict:
+    """Element-wise best of two measurement passes.
+
+    Timing on a shared box is one-sided noise: a measurement can only
+    come out *slower* than the machine's capability, never faster, so
+    the minimum ns/op (maximum events/s) across passes is the honest
+    estimate.  A genuine regression survives every pass; a scheduler
+    hiccup does not.
+    """
+    if best is None:
+        return cur
+    out = dict(best)
+    for name, row in cur.items():
+        if name == "sim_event_throughput":
+            if row["events_per_sec"] > out[name]["events_per_sec"]:
+                out[name] = row
+        elif row.get("ns_per_op", 1e18) < out.get(name, {}).get("ns_per_op", 1e18):
+            out[name] = row
+    return out
+
+
+def evaluate(current: dict, base_k: dict, base_s: dict, tolerance: float):
+    """Compare one merged measurement against the baseline entries."""
+    failures = []
+    rows = []
+
+    # Headline: simulator event throughput (higher is better).
+    base_eps = base_s.get("sim_events_per_sec")
+    cur_eps = current["sim_event_throughput"]["events_per_sec"]
+    if base_eps:
+        delta = cur_eps / base_eps - 1.0
+        ok = delta >= -tolerance
+        rows.append(("sim_event_throughput [events/s]",
+                     f"{base_eps:,.0f}", f"{cur_eps:,.0f}", delta, ok))
+        if not ok:
+            failures.append("sim_event_throughput")
+    else:
+        rows.append(("sim_event_throughput [events/s]",
+                     "(absent)", f"{cur_eps:,.0f}", None, True))
+
+    # Parity-gated kernels (lower ns/op is better).
+    base_kernels = base_k.get("kernels_ns_per_op", {})
+    for name in PARITY_GATED_KERNELS:
+        base_ns = base_kernels.get(name)
+        cur_ns = current[name]["ns_per_op"]
+        if base_ns:
+            delta = cur_ns / base_ns - 1.0
+            ok = delta <= tolerance
+            rows.append((f"{name} [ns/op]",
+                         f"{base_ns:,.0f}", f"{cur_ns:,.0f}", delta, ok))
+            if not ok:
+                failures.append(name)
+        else:
+            rows.append((f"{name} [ns/op]", "(absent)", f"{cur_ns:,.0f}",
+                         None, True))
+    return failures, rows
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--history", default="benchmark_results/history.jsonl",
+                   help="trajectory file providing the baseline entries")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="timing repetitions per kernel (best-of)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="allowed fractional regression (0.10 = 10%%)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="extra measurement passes while any metric fails "
+                        "(best-of across passes; a real regression "
+                        "survives them all)")
+    args = p.parse_args(argv)
+
+    base_k, base_s = load_baseline(args.history)
+    print(f"perf-gate: baselining against {args.history} -- kernels from "
+          f"rev {base_k.get('git_rev')} ({base_k.get('ts')}), events/s from "
+          f"rev {base_s.get('git_rev')} ({base_s.get('ts')})")
+
+    best = None
+    for attempt in range(1 + max(0, args.retries)):
+        best = merge_best(best, run_kernel_benchmarks(repeat=args.repeat))
+        failures, rows = evaluate(best, base_k, base_s, args.tolerance)
+        if not failures:
+            break
+        if attempt < args.retries:
+            print(f"perf-gate: {', '.join(failures)} over tolerance on pass "
+                  f"{attempt + 1}; re-measuring (noise vs regression)")
+
+    width = max(len(r[0]) for r in rows)
+    for metric, base, cur, delta, ok in rows:
+        d = "      --" if delta is None else f"{delta:+8.1%}"
+        mark = "ok  " if ok else "FAIL"
+        print(f"  {mark}  {metric:<{width}}  {base:>14} -> {cur:>14}  {d}")
+
+    if failures:
+        print(f"perf-gate: FAIL -- {len(failures)} metric(s) regressed more "
+              f"than {args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"perf-gate: OK -- no metric regressed more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,7 @@ from typing import Any, Dict, Generator
 
 from ..errors import ConfigError
 from ..sim.engine import Simulator
-from ..sim.events import Signal, Timeout
+from ..sim.events import Signal
 from ..sim.network import NetMessage, Network
 
 __all__ = ["Heartbeat", "FailureDetector"]
@@ -113,7 +113,7 @@ class FailureDetector:
             if self.stop_after_first and self.suspected:
                 self._sink_proc.kill()
                 return
-            yield Timeout(self.period_s)
+            yield self.period_s
             seq += 1
 
     def _ack_sink(self) -> Generator[Any, Any, None]:

@@ -59,6 +59,7 @@ __all__ = [
     "SEGMENT_MAGIC",
     "TYPE_TAGS",
     "encode_record",
+    "encode_record_into",
     "decode_record",
     "encode_segment",
     "decode_segment",
@@ -67,6 +68,9 @@ __all__ = [
 #: type u8 | flags u8 | window u16 | interval u32 | payload_len u32 | crc u32
 _FRAME = struct.Struct("<BBHIII")
 assert _FRAME.size == FRAME_HEADER_BYTES
+#: The header minus the trailing CRC word (patched in after the fact).
+_FRAME12 = struct.Struct("<BBHII")
+_FRAME_BLANK = bytes(FRAME_HEADER_BYTES)
 
 #: magic u32 | seq u32 | nrecords u32 | reserved u32
 _SEGHDR = struct.Struct("<IIII")
@@ -91,11 +95,13 @@ _NONE_VT = 0xFFFFFFFF
 # ----------------------------------------------------------------------
 # field codecs
 # ----------------------------------------------------------------------
-def _enc_vt(vt: Optional[VectorClock]) -> bytes:
+def _enc_vt(out: bytearray, vt: Optional[VectorClock]) -> None:
     """``u32 count`` (0xFFFFFFFF = None) + ``count`` u32 components."""
     if vt is None:
-        return _U32.pack(_NONE_VT)
-    return _U32.pack(len(vt)) + struct.pack(f"<{len(vt)}I", *vt.as_tuple())
+        out += _U32.pack(_NONE_VT)
+        return
+    out += _U32.pack(len(vt))
+    out += struct.pack(f"<{len(vt)}I", *vt.as_tuple())
 
 
 def _dec_vt(buf: bytes, off: int) -> Tuple[Optional[VectorClock], int]:
@@ -107,8 +113,11 @@ def _dec_vt(buf: bytes, off: int) -> Tuple[Optional[VectorClock], int]:
     return VectorClock(vals), off + 4 * count
 
 
-def _enc_diff(d: Diff) -> bytes:
-    return encode_diff(d).tobytes()
+def _enc_diff(out: bytearray, d: Diff) -> None:
+    # encode_diff returns a packed uint8 ndarray; appending its .data
+    # memoryview copies once into ``out`` (no .tobytes() intermediate;
+    # a bare ``out += ndarray`` would dispatch to numpy broadcasting).
+    out += encode_diff(d).data
 
 
 def _dec_diff(buf: bytes, off: int) -> Tuple[Diff, int]:
@@ -128,15 +137,12 @@ def _dec_diff(buf: bytes, off: int) -> Tuple[Diff, int]:
 # ----------------------------------------------------------------------
 # payload codecs, one per record type
 # ----------------------------------------------------------------------
-def _payload_notice(r: NoticeLogRecord) -> bytes:
-    out = [_U32.pack(len(r.records))]
+def _payload_notice(out: bytearray, r: NoticeLogRecord) -> None:
+    out += _U32.pack(len(r.records))
     for ir in r.records:
-        out.append(_I32.pack(ir.node))
-        out.append(_I32.pack(ir.index))
-        out.append(_U32.pack(len(ir.pages)))
-        out.append(_enc_vt(ir.vt))
-        out.append(struct.pack(f"<{len(ir.pages)}I", *ir.pages))
-    return b"".join(out)
+        out += struct.pack("<iiI", ir.node, ir.index, len(ir.pages))
+        _enc_vt(out, ir.vt)
+        out += struct.pack(f"<{len(ir.pages)}I", *ir.pages)
 
 
 def _parse_notice(rec: NoticeLogRecord, buf: bytes) -> None:
@@ -152,8 +158,9 @@ def _parse_notice(rec: NoticeLogRecord, buf: bytes) -> None:
         rec.records.append(IntervalRecord(node, index, vt, tuple(pages)))
 
 
-def _payload_fetch(r: FetchLogRecord) -> bytes:
-    return _I32.pack(r.page) + _enc_vt(r.version)
+def _payload_fetch(out: bytearray, r: FetchLogRecord) -> None:
+    out += _I32.pack(r.page)
+    _enc_vt(out, r.version)
 
 
 def _parse_fetch(rec: FetchLogRecord, buf: bytes) -> None:
@@ -161,14 +168,16 @@ def _parse_fetch(rec: FetchLogRecord, buf: bytes) -> None:
     rec.version, _ = _dec_vt(buf, 4)
 
 
-def _payload_pagecopy(r: PageCopyLogRecord) -> bytes:
-    contents = b"" if r.contents is None else bytes(r.contents)
-    return (
-        _I32.pack(r.page)
-        + _enc_vt(r.version)
-        + _U32.pack(len(contents))
-        + contents
-    )
+def _payload_pagecopy(out: bytearray, r: PageCopyLogRecord) -> None:
+    out += _I32.pack(r.page)
+    _enc_vt(out, r.version)
+    if r.contents is None:
+        out += _U32.pack(0)
+    else:
+        # page image appended via its memoryview: one copy into the
+        # frame, no intermediate bytes object
+        out += _U32.pack(len(r.contents))
+        out += memoryview(r.contents)
 
 
 def _parse_pagecopy(rec: PageCopyLogRecord, buf: bytes) -> None:
@@ -180,14 +189,9 @@ def _parse_pagecopy(rec: PageCopyLogRecord, buf: bytes) -> None:
         rec.contents = np.frombuffer(buf, np.uint8, count=n, offset=off).copy()
 
 
-def _payload_event(r: UpdateEventLogRecord) -> bytes:
-    return (
-        _I32.pack(r.writer)
-        + _I32.pack(r.writer_index)
-        + _I32.pack(r.part)
-        + _U32.pack(len(r.pages))
-        + struct.pack(f"<{len(r.pages)}I", *r.pages)
-    )
+def _payload_event(out: bytearray, r: UpdateEventLogRecord) -> None:
+    out += struct.pack("<iiiI", r.writer, r.writer_index, r.part, len(r.pages))
+    out += struct.pack(f"<{len(r.pages)}I", *r.pages)
 
 
 def _parse_event(rec: UpdateEventLogRecord, buf: bytes) -> None:
@@ -197,15 +201,11 @@ def _parse_event(rec: UpdateEventLogRecord, buf: bytes) -> None:
     rec.pages = tuple(struct.unpack_from(f"<{npages}I", buf, 16))
 
 
-def _payload_incoming(r: IncomingDiffLogRecord) -> bytes:
-    out = [
-        _I32.pack(r.writer),
-        _I32.pack(r.writer_index),
-        _U32.pack(len(r.diffs)),
-        _enc_vt(r.vt),
-    ]
-    out.extend(_enc_diff(d) for d in r.diffs)
-    return b"".join(out)
+def _payload_incoming(out: bytearray, r: IncomingDiffLogRecord) -> None:
+    out += struct.pack("<iiI", r.writer, r.writer_index, len(r.diffs))
+    _enc_vt(out, r.vt)
+    for d in r.diffs:
+        _enc_diff(out, d)
 
 
 def _parse_incoming(rec: IncomingDiffLogRecord, buf: bytes) -> None:
@@ -216,21 +216,19 @@ def _parse_incoming(rec: IncomingDiffLogRecord, buf: bytes) -> None:
         rec.diffs.append(d)
 
 
-def _payload_owndiff(r: OwnDiffLogRecord) -> bytes:
-    out = [
-        _I32.pack(r.vt_index),
-        _U32.pack(len(r.diffs)),
-        _U32.pack(len(r.home_diffs)),
-        _U32.pack(len(r.early)),
-        _enc_vt(r.vt),
-    ]
-    out.extend(_enc_diff(d) for d in r.diffs)
-    out.extend(_enc_diff(d) for d in r.home_diffs)
+def _payload_owndiff(out: bytearray, r: OwnDiffLogRecord) -> None:
+    out += struct.pack(
+        "<iIII", r.vt_index, len(r.diffs), len(r.home_diffs), len(r.early)
+    )
+    _enc_vt(out, r.vt)
+    for d in r.diffs:
+        _enc_diff(out, d)
+    for d in r.home_diffs:
+        _enc_diff(out, d)
     for part, d, evt in r.early:
-        out.append(_I32.pack(part))
-        out.append(_enc_diff(d))
-        out.append(_enc_vt(evt))
-    return b"".join(out)
+        out += _I32.pack(part)
+        _enc_diff(out, d)
+        _enc_vt(out, evt)
 
 
 def _parse_owndiff(rec: OwnDiffLogRecord, buf: bytes) -> None:
@@ -272,23 +270,42 @@ _PARSERS = {
 # ----------------------------------------------------------------------
 # frames
 # ----------------------------------------------------------------------
-def encode_record(rec: LogRecord) -> bytes:
-    """Serialize one record as a framed byte string.
+def encode_record_into(out: bytearray, rec: LogRecord) -> None:
+    """Append one framed record to ``out`` with no intermediate joins.
+
+    The payload is written directly into ``out`` (page images and
+    packed diffs copy once, through the buffer protocol); the CRC is
+    then computed over memoryviews of the in-place header prefix and
+    payload and patched into the reserved header slot.
 
     The CRC covers the header prefix *and* the payload, so a bit flip
     anywhere in the frame (a retagged type, a shifted interval, a
     damaged diff word) is detected rather than silently replayed.
     """
-    tag = TYPE_TAGS[type(rec)]
-    payload = _ENCODERS[type(rec)](rec)
+    cls = type(rec)
+    tag = TYPE_TAGS[cls]
     assert rec.window < 0x10000, f"window tag {rec.window} overflows u16"
-    assert len(payload) == rec.nbytes - FRAME_HEADER_BYTES, (
-        f"{type(rec).__name__}: encoded {len(payload)} payload bytes but "
+    hdr = len(out)
+    out += _FRAME_BLANK
+    start = hdr + FRAME_HEADER_BYTES
+    _ENCODERS[cls](out, rec)
+    plen = len(out) - start
+    assert plen == rec.nbytes - FRAME_HEADER_BYTES, (
+        f"{cls.__name__}: encoded {plen} payload bytes but "
         f"nbytes promises {rec.nbytes - FRAME_HEADER_BYTES}"
     )
-    prefix = _FRAME.pack(tag, 0, rec.window, rec.interval, len(payload), 0)[:12]
-    crc = zlib.crc32(payload, zlib.crc32(prefix)) & 0xFFFFFFFF
-    return prefix + _U32.pack(crc) + payload
+    _FRAME12.pack_into(out, hdr, tag, 0, rec.window, rec.interval, plen)
+    view = memoryview(out)
+    crc = zlib.crc32(view[start:], zlib.crc32(view[hdr:hdr + 12])) & 0xFFFFFFFF
+    view.release()
+    _U32.pack_into(out, hdr + 12, crc)
+
+
+def encode_record(rec: LogRecord) -> bytes:
+    """Serialize one record as a framed byte string."""
+    out = bytearray()
+    encode_record_into(out, rec)
+    return bytes(out)
 
 
 def decode_record(buf: bytes, off: int = 0) -> Tuple[LogRecord, int]:
@@ -311,8 +328,9 @@ def decode_record(buf: bytes, off: int = 0) -> Tuple[LogRecord, int]:
             f"{remaining - FRAME_HEADER_BYTES} bytes at offset {off}"
         )
     start = off + FRAME_HEADER_BYTES
-    payload = buf[start:start + plen]
-    prefix_crc = zlib.crc32(bytes(buf[off:off + 12]))
+    view = memoryview(buf)
+    payload = view[start:start + plen]
+    prefix_crc = zlib.crc32(view[off:off + 12])
     if zlib.crc32(payload, prefix_crc) & 0xFFFFFFFF != crc:
         raise LogFormatError(
             f"CRC mismatch in type-{tag} frame at offset {off}"
@@ -332,10 +350,15 @@ def decode_record(buf: bytes, off: int = 0) -> Tuple[LogRecord, int]:
 # segments
 # ----------------------------------------------------------------------
 def encode_segment(seq: int, records: List[LogRecord]) -> bytes:
-    """Serialize one per-flush segment (header + framed records)."""
-    out = [_SEGHDR.pack(SEGMENT_MAGIC, seq, len(records), 0)]
-    out.extend(encode_record(r) for r in records)
-    return b"".join(out)
+    """Serialize one per-flush segment (header + framed records).
+
+    Accumulates the whole segment in one growable bytearray -- the
+    flush path performs no per-record bytes joins.
+    """
+    out = bytearray(_SEGHDR.pack(SEGMENT_MAGIC, seq, len(records), 0))
+    for r in records:
+        encode_record_into(out, r)
+    return bytes(out)
 
 
 def decode_segment(

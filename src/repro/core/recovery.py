@@ -50,7 +50,7 @@ from ..memory import LocalMemory, PageState, PageTable
 from ..memory.diff import Diff
 from ..sim.disk import Disk
 from ..sim.engine import Simulator
-from ..sim.events import Signal, Timeout
+from ..sim.events import Signal
 from ..sim.network import NetMessage, Network
 from ..sim.stats import NodeStats
 from .checkpoint import Checkpointer, CheckpointSnapshot
@@ -144,7 +144,7 @@ class ReplayNode:
     def _spend(self, category: str, seconds: float) -> Generator[Any, Any, None]:
         if self.timed and seconds > 0:
             self.stats.charge(category, seconds)
-            yield Timeout(seconds)
+            yield seconds
 
     def _disk_read(self, category: str, nbytes: int) -> Generator[Any, Any, None]:
         """A sequential log-scan read (replay consumes the log in order)."""

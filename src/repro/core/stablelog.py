@@ -39,7 +39,7 @@ from ..errors import LoggingProtocolError, StorageFaultError
 from ..memory.diff import Diff
 from ..dsm.interval import VectorClock
 from ..sim.disk import Disk
-from ..sim.events import Signal, Timeout
+from ..sim.events import Signal
 from ..sim.faults import DiskFaultPlan
 from .logformat import SEGMENT_HEADER_BYTES, encode_segment
 from .logrecords import LogRecord, OwnDiffLogRecord
@@ -92,6 +92,9 @@ class StableLog:
         #: path byte-identical to the fault-free model.
         self.faults = faults
         self._volatile: List[LogRecord] = []
+        #: Running framed size of ``_volatile`` (kept in lockstep so
+        #: ``volatile_bytes`` is O(1) on the per-record append path).
+        self._volatile_nbytes = 0
         self._persistent: List[LogRecord] = []
         #: Per-flush segments in issue order (includes gc'd ones).
         self._segments: List[LogSegment] = []
@@ -125,14 +128,19 @@ class StableLog:
     def append(self, record: LogRecord) -> None:
         """Buffer a record in volatile memory."""
         self._volatile.append(record)
-        vb = self.volatile_bytes
+        vb = self._volatile_nbytes + record.nbytes
+        self._volatile_nbytes = vb
         if vb > self.volatile_peak_bytes:
             self.volatile_peak_bytes = vb
 
     @property
     def volatile_bytes(self) -> int:
-        """Framed bytes currently awaiting a flush."""
-        return sum(r.nbytes for r in self._volatile)
+        """Framed bytes currently awaiting a flush.
+
+        A running counter: summing the buffer on every append made the
+        hot logging path O(buffer) per record (quadratic per interval).
+        """
+        return self._volatile_nbytes
 
     @property
     def persistent_records(self) -> List[LogRecord]:
@@ -218,6 +226,7 @@ class StableLog:
         self._new_segment(sealed, sealed=True)
         self._retire(sealed)
         self._volatile = remaining
+        self._volatile_nbytes = sum(r.nbytes for r in remaining)
         self._flush_marks.append((len(self._persistent), self.disk.sim.now))
         return len(sealed)
 
@@ -251,6 +260,7 @@ class StableLog:
                     self._own_by_vtidx.setdefault(r.vt_index, []).append(r)
         if records is self._volatile:
             self._volatile = []
+            self._volatile_nbytes = 0
         else:
             records.clear()
 
@@ -301,7 +311,7 @@ class StableLog:
                     f"node {self.node_id}: flush of segment {seg.seq} "
                     f"({seg.nbytes} bytes) failed {attempt} times"
                 )
-            yield Timeout(f.retry_backoff_s * attempt)
+            yield f.retry_backoff_s * attempt
         self._mark_durable(seg, count)
         done.trigger(self.disk.sim.now)
 

@@ -34,9 +34,10 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, List, Optional
 from ..errors import ProtocolError
 from ..memory import LocalMemory, PageState, PageTable, create_diff, apply_diff
 from ..memory.diff import Diff
-from ..sim.events import AllOf, Signal, Timeout
+from ..sim.events import AllOf, Signal
 from ..sim.network import NetMessage
 from ..sim.stats import NodeStats
+from ..sim import trace as _trc
 from ..sim.trace import Ev
 from .barrier import BarrierState
 from .interval import IntervalRecord, IntervalTable, VectorClock
@@ -173,8 +174,13 @@ class HlrcNode:
 
     @property
     def _tracing(self) -> bool:
-        """Whether structured events should be built (guards dict costs)."""
-        return self.system.tracer.enabled
+        """Whether structured events should be built (guards dict costs).
+
+        Checks the module-level :data:`repro.sim.trace.TRACING_ACTIVE`
+        flag first so tracing-off runs pay one module attribute load,
+        never a per-object property chain.
+        """
+        return _trc.TRACING_ACTIVE and self.system.tracer.enabled
 
     def _span(
         self,
@@ -258,12 +264,15 @@ class HlrcNode:
         """Field incoming protocol messages forever (killed at shutdown)."""
         mbox = self.net.mailbox(self.id)
         kinds = self.SERVER_KINDS
+        is_server_kind = lambda m: m.kind in kinds  # noqa: E731 - hoisted
         while True:
-            msg: NetMessage = yield mbox.get(lambda m: m.kind in kinds)
-            sid = self._span(
-                f"handle_{msg.kind}", "handler", strand="server",
-                detail={"eid": msg.obs_eid, "from": msg.src},
-            )
+            msg: NetMessage = yield mbox.get(is_server_kind)
+            sid = -1
+            if _trc.TRACING_ACTIVE and self._tracing:
+                sid = self._span(
+                    f"handle_{msg.kind}", "handler", strand="server",
+                    detail={"eid": msg.obs_eid, "from": msg.src},
+                )
             yield from self._dispatch(msg)
             self._span_end(sid)
 
@@ -311,7 +320,7 @@ class HlrcNode:
                 f"node {self.id} asked to serve page {req.page} homed at {entry.home}"
             )
         # copying the page out of the frame costs CPU on the home
-        yield Timeout(self.cfg.cpu.twin_copy_per_byte_s * self.cfg.page_size)
+        yield self.cfg.cpu.twin_copy_per_byte_s * self.cfg.page_size
         source = entry.twin if entry.twin is not None else self.memory.page_bytes(req.page)
         reply = PageReply(req.page, source.copy(), entry.version)
         self.stats.count("pages_served")
@@ -336,7 +345,7 @@ class HlrcNode:
         acknowledges, and discards the diffs.
         """
         nbytes = sum(d.word_count for d in batch.diffs) * 4
-        yield Timeout(self.cfg.cpu.diff_apply_per_byte_s * nbytes)
+        yield self.cfg.cpu.diff_apply_per_byte_s * nbytes
         for d in batch.diffs:
             entry = self.pagetable.entry(d.page)
             if entry.home != self.id:
@@ -422,28 +431,28 @@ class HlrcNode:
         dt = self.cfg.cpu.compute_time(flops)
         self.stats.charge("compute", dt)
         sid = self._span("compute", "cpu")
-        yield Timeout(dt)
+        yield dt
         self._span_end(sid)
 
     def idle(self, seconds: float) -> Generator[Any, Any, None]:
         """Charge raw wall time (I/O-ish application phases)."""
         self.stats.charge("compute", seconds)
         sid = self._span("idle", "cpu")
-        yield Timeout(seconds)
+        yield seconds
         self._span_end(sid)
 
     # ------------------------------------------------------------------
     def acquire(self, lock_id: int) -> Generator[Any, Any, None]:
         """Lock acquire: fetch ownership + apply piggybacked notices."""
-        osid = self._span("acquire", "sync", detail={"lock": lock_id})
-        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        osid = -1 if not self._tracing else self._span("acquire", "sync", detail={"lock": lock_id})
+        yield self.cfg.cpu.sync_overhead_s
         if self.hooks.flush_at_sync_entry:
-            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
+            fsid = -1 if not self._tracing else self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
             self._span_end(fsid)
         t0 = self.sim.now
         mgr = self.lock_manager(lock_id)
-        wsid = self._span("lock_wait", "wait", detail={"lock": lock_id})
+        wsid = -1 if not self._tracing else self._span("lock_wait", "wait", detail={"lock": lock_id})
         if mgr == self.id:
             records = yield from self._acquire_local(lock_id)
             self._span_end(wsid)
@@ -482,10 +491,10 @@ class HlrcNode:
     # ------------------------------------------------------------------
     def release(self, lock_id: int) -> Generator[Any, Any, None]:
         """Lock release: close the interval, flush diffs + log, hand off."""
-        osid = self._span("release", "sync", detail={"lock": lock_id})
-        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        osid = -1 if not self._tracing else self._span("release", "sync", detail={"lock": lock_id})
+        yield self.cfg.cpu.sync_overhead_s
         if self.hooks.flush_at_sync_entry:
-            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
+            fsid = -1 if not self._tracing else self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
             self._span_end(fsid)
         yield from self._end_interval()
@@ -511,10 +520,10 @@ class HlrcNode:
     # ------------------------------------------------------------------
     def barrier(self, barrier_id: int = 0) -> Generator[Any, Any, None]:
         """Barrier: close the interval, then all-to-all notice exchange."""
-        osid = self._span("barrier", "sync", detail={"barrier": barrier_id})
-        yield Timeout(self.cfg.cpu.sync_overhead_s)
+        osid = -1 if not self._tracing else self._span("barrier", "sync", detail={"barrier": barrier_id})
+        yield self.cfg.cpu.sync_overhead_s
         if self.hooks.flush_at_sync_entry:
-            fsid = self._span("log_flush", "disk", detail={"mode": "sync"})
+            fsid = -1 if not self._tracing else self._span("log_flush", "disk", detail={"mode": "sync"})
             yield from self.hooks.sync_entry_flush()
             self._span_end(fsid)
         yield from self._end_interval()
@@ -553,7 +562,7 @@ class HlrcNode:
         mgr = 0
         records = self.table.records_not_covered_by(self.peer_known_vt[mgr])
         sig = self.expect("barrier_release", barrier_id)
-        wsid = self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
+        wsid = -1 if not self._tracing else self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
         yield from self._send(
             mgr, "barrier_checkin",
             BarrierCheckin(barrier_id, self.id, self.barrier_episode,
@@ -571,7 +580,7 @@ class HlrcNode:
         assert self.barrier_state is not None
         all_in = self.barrier_state.checkin(self.id, self.vt, self.barrier_episode)
         self.barrier_episode += 1
-        wsid = self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
+        wsid = -1 if not self._tracing else self._span("barrier_wait", "wait", detail={"barrier": barrier_id})
         yield all_in
         self._span_end(wsid)
         participants = self.barrier_state.participant_vts()
@@ -664,7 +673,7 @@ class HlrcNode:
             self.stats.charge("diff", scan_cost)
             ssid = self._span("diff_scan", "cpu",
                               detail={"pages": len(pages), "part": part})
-            yield Timeout(scan_cost)
+            yield scan_cost
             self._span_end(ssid)
         if not by_home:
             return
@@ -755,7 +764,7 @@ class HlrcNode:
                 self.stats.charge("diff", scan_cost)
                 ssid = self._span("diff_scan", "cpu",
                                   detail={"pages": len(dirty)})
-                yield Timeout(scan_cost)
+                yield scan_cost
                 self._span_end(ssid)
             record = IntervalRecord(self.id, vt_index, new_vt, tuple(dirty))
             self.stats.count("diffs_created", len(remote_diffs))
@@ -885,14 +894,14 @@ class HlrcNode:
             entry = self.pagetable.entry(p)
             if entry.home == self.id:
                 if self.hooks.wants_home_diffs and entry.twin is None:
-                    yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
+                    yield cpu.twin_copy_per_byte_s * self.cfg.page_size
                     self.pagetable.make_twin(p, self.memory.page_bytes(p))
                 self.pagetable.mark_dirty(p)
                 continue
             if entry.state is PageState.INVALID:
                 yield from self._fault_fetch(p)
             if entry.state is PageState.CLEAN:
-                yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
+                yield cpu.twin_copy_per_byte_s * self.cfg.page_size
                 self.pagetable.make_twin(p, self.memory.page_bytes(p))
                 self.pagetable.set_state(p, PageState.DIRTY, "write")
             self.pagetable.mark_dirty(p)
@@ -900,8 +909,8 @@ class HlrcNode:
     def _fault_fetch(self, page: int) -> Generator[Any, Any, None]:
         """One page-fault round trip to the home node."""
         t0 = self.sim.now
-        wsid = self._span("page_fault", "wait", detail={"page": page})
-        yield Timeout(self.cfg.cpu.page_fault_s)
+        wsid = -1 if not self._tracing else self._span("page_fault", "wait", detail={"page": page})
+        yield self.cfg.cpu.page_fault_s
         entry = self.pagetable.entry(page)
         sig = self.expect("page_reply", page)
         yield from self._send(entry.home, "page_req", PageRequest(page, self.id))

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Generator, List, Optional
 import numpy as np
 
 from ..memory.diff import Diff
+from ..sim import trace as _trc
 from ..sim.events import Signal
 from ..sim.trace import Ev
 from .interval import IntervalRecord, VectorClock
@@ -107,7 +108,7 @@ class LoggingHooks:
         self, records: List[IntervalRecord], window: int
     ) -> None:
         node = self.node
-        if node.system.tracer.enabled:
+        if _trc.TRACING_ACTIVE and node.system.tracer.enabled:
             node._trace(
                 Ev.LOG_NOTICES,
                 {
@@ -122,7 +123,7 @@ class LoggingHooks:
         self, page: int, contents: np.ndarray, version: VectorClock, window: int
     ) -> None:
         node = self.node
-        if node.system.tracer.enabled:
+        if _trc.TRACING_ACTIVE and node.system.tracer.enabled:
             node._trace(
                 Ev.LOG_FETCH,
                 {
@@ -136,7 +137,7 @@ class LoggingHooks:
 
     def notify_update_received(self, batch: DiffBatch) -> None:
         node = self.node
-        if node.system.tracer.enabled:
+        if _trc.TRACING_ACTIVE and node.system.tracer.enabled:
             node._trace(
                 Ev.LOG_UPDATE,
                 {
@@ -151,7 +152,7 @@ class LoggingHooks:
 
     def notify_early_diff(self, diff: Diff, part: int, vt: VectorClock) -> None:
         node = self.node
-        if node.system.tracer.enabled:
+        if _trc.TRACING_ACTIVE and node.system.tracer.enabled:
             node._trace(
                 Ev.LOG_EARLY_DIFF,
                 {
@@ -172,7 +173,7 @@ class LoggingHooks:
         record: Optional[IntervalRecord],
     ) -> None:
         node = self.node
-        if node.system.tracer.enabled:
+        if _trc.TRACING_ACTIVE and node.system.tracer.enabled:
             node._trace(
                 Ev.LOG_INTERVAL,
                 {

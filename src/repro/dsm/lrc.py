@@ -38,7 +38,7 @@ from typing import Any, Dict, Generator, List, Tuple
 from ..errors import ProtocolError
 from ..memory import PageState, create_diff
 from ..memory.diff import Diff, apply_diff
-from ..sim.events import Timeout
+
 from ..sim.network import NetMessage
 from .hlrc import HlrcNode
 from .interval import IntervalRecord, VectorClock
@@ -125,7 +125,7 @@ class LrcNode(HlrcNode):
             for part, vt, diff in self.diff_repo.get((page, idx), []):
                 entries.append((diff, self.id, idx, part, vt))
         nbytes = sum(d.nbytes for d, *_rest in entries)
-        yield Timeout(self.cfg.cpu.twin_copy_per_byte_s * nbytes)
+        yield self.cfg.cpu.twin_copy_per_byte_s * nbytes
         reply = LrcDiffReply(req.reqid, entries)
         self._post(req.requester, "lrc_diff_reply", reply)
 
@@ -173,7 +173,7 @@ class LrcNode(HlrcNode):
         # in the local repository (nothing is sent -- homeless!)
         for p in dirty_hit:
             entry = self.pagetable.entry(p)
-            yield Timeout(self.cfg.cpu.diff_scan_per_byte_s * self.cfg.page_size)
+            yield self.cfg.cpu.diff_scan_per_byte_s * self.cfg.page_size
             d = create_diff(p, entry.twin, self.memory.page_bytes(p))
             self.pagetable.drop_twin(p)
             if not d.is_empty:
@@ -219,7 +219,7 @@ class LrcNode(HlrcNode):
                 kept_pages.append(p)
             if scan_cost:
                 self.stats.charge("diff", scan_cost)
-                yield Timeout(scan_cost)
+                yield scan_cost
             record = IntervalRecord(self.id, vt_index, new_vt, tuple(kept_pages))
             self.table.add(record)
             self.vt = new_vt
@@ -246,7 +246,7 @@ class LrcNode(HlrcNode):
             if entry.state is PageState.INVALID:
                 yield from self._fill(p)
             if entry.state is PageState.CLEAN:
-                yield Timeout(cpu.twin_copy_per_byte_s * self.cfg.page_size)
+                yield cpu.twin_copy_per_byte_s * self.cfg.page_size
                 self.pagetable.make_twin(p, self.memory.page_bytes(p))
                 self.pagetable.set_state(p, PageState.DIRTY, "write")
             self.pagetable.mark_dirty(p)
@@ -254,7 +254,7 @@ class LrcNode(HlrcNode):
     def _fill(self, page: int) -> Generator[Any, Any, None]:
         """Validate a page: fetch the uncovered diffs from their writers."""
         t0 = self.sim.now
-        yield Timeout(self.cfg.cpu.page_fault_s)
+        yield self.cfg.cpu.page_fault_s
         entry = self.pagetable.entry(page)
         have = entry.version
         needed = [
@@ -292,7 +292,7 @@ class LrcNode(HlrcNode):
         for r in needed:
             version = version.merge(r.vt)
         if apply_cost:
-            yield Timeout(apply_cost)
+            yield apply_cost
         self.pagetable.set_state(page, PageState.CLEAN, "fill")
         entry.version = version
         self.stats.count("page_faults")

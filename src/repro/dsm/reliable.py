@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from ..sim.engine import Simulator
-from ..sim.events import Signal, Timeout
+from ..sim.events import Signal
 from ..sim.network import NetMessage, Network
 from .messages import RelAck
 
@@ -115,7 +115,7 @@ class ReliableTransport:
     # ------------------------------------------------------------------
     def send(self, msg: NetMessage) -> Generator[Any, Any, Signal]:
         """Reliable counterpart of :meth:`Network.send`."""
-        yield Timeout(self.net.config.send_overhead_s)
+        yield self.net.config.send_overhead_s
         return self.post(msg)
 
     def post(self, msg: NetMessage) -> Signal:

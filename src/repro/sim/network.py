@@ -17,13 +17,14 @@ modelling the ACK-free fast paths in recovery responders).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..config import NetworkConfig
 from ..errors import SimulationError
 from .engine import Simulator
-from .events import Signal, Timeout
+from . import trace as _trc
+from .events import Signal
 from .faults import FaultPlan
 from .resources import FifoServer, Mailbox
 
@@ -63,7 +64,6 @@ def _payload_pages(payload: Any) -> tuple:
     return ()
 
 
-@dataclass
 class NetMessage:
     """One message on the wire.
 
@@ -72,21 +72,82 @@ class NetMessage:
     computes from real payload contents so that traffic statistics are
     measured rather than assumed.  ``payload`` carries the actual Python
     data and has no timing effect beyond ``size``.
+
+    A hand-written slotted class rather than a dataclass: one of these
+    is built per protocol exchange, and the dataclass ``__init__``
+    indirection showed up in the message-instantiation benchmark.
     """
 
-    src: int
-    dst: int
-    kind: str
-    payload: Any = None
-    size: int = 64
-    #: Filled in by the network at delivery time (virtual seconds).
-    delivered_at: float = field(default=-1.0, compare=False)
-    #: Per-link sequence number stamped by the reliable transport;
-    #: -1 means unsequenced (fire-and-forget traffic like heartbeats).
-    seq: int = field(default=-1, compare=False)
-    #: Causal-edge id stamped by the network when tracing is on; the
-    #: server loop uses it to link handler spans to the inbound message.
-    obs_eid: int = field(default=-1, compare=False)
+    __slots__ = ("src", "dst", "kind", "payload", "size",
+                 "delivered_at", "seq", "obs_eid")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        payload: Any = None,
+        size: int = 64,
+    ):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size = size
+        #: Filled in by the network at delivery time (virtual seconds).
+        self.delivered_at = -1.0
+        #: Per-link sequence number stamped by the reliable transport;
+        #: -1 means unsequenced (fire-and-forget traffic like heartbeats).
+        self.seq = -1
+        #: Causal-edge id stamped by the network when tracing is on; the
+        #: server loop uses it to link handler spans to the inbound message.
+        self.obs_eid = -1
+
+    def __repr__(self) -> str:
+        return (
+            f"NetMessage(src={self.src}, dst={self.dst}, "
+            f"kind={self.kind!r}, payload={self.payload!r}, "
+            f"size={self.size})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is not NetMessage:
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.size == other.size
+        )
+
+
+class _Hop:
+    """Two-phase scheduled delivery for the fault-free fast path.
+
+    Scheduled once at NIC-finish time; the first call reschedules itself
+    after the wire latency + receiver overhead, the second performs the
+    delivery.  One allocation replaces the ``tx_done`` signal and the
+    nested ``on_tx``/``deliver`` closures, while consuming engine
+    sequence numbers at exactly the same two instants (post time and
+    NIC-finish time) so event ordering is unchanged.
+    """
+
+    __slots__ = ("net", "msg", "signal", "hopped")
+
+    def __init__(self, net: "Network", msg: NetMessage, signal: Signal):
+        self.net = net
+        self.msg = msg
+        self.signal = signal
+        self.hopped = False
+
+    def __call__(self) -> None:
+        net = self.net
+        if self.hopped:
+            net._deliver(self.msg, self.signal)
+        else:
+            self.hopped = True
+            net.sim.schedule(net._extra, self)
 
 
 class Network:
@@ -126,6 +187,13 @@ class Network:
         self.tracer: Optional[Any] = None
         self._nics = [FifoServer(sim, f"nic{i}") for i in range(num_nodes)]
         self._mailboxes = [Mailbox(sim, f"mbox{i}") for i in range(num_nodes)]
+        # Per-link constants, precomputed once.  ``_extra`` is the same
+        # sum post() used to form per message, so timestamps are
+        # bit-identical; ``_bw`` keeps the exact ``wire / bandwidth``
+        # division of ``config.transfer_time`` (a reciprocal-multiply
+        # would differ in the last ulp and break byte-identity goldens).
+        self._extra = config.latency_s + config.recv_overhead_s
+        self._bw = config.bandwidth_bps
         #: Per-(src, dst) post counters backing ``DeliveryLabel.link_seq``
         #: in controlled-scheduler runs; untouched on the normal path.
         self._link_seq: Dict[tuple, int] = {}
@@ -148,7 +216,7 @@ class Network:
         overhead is paid -- sends are asynchronous, as in TreadMarks.
         """
         self._validate(msg)
-        yield Timeout(self.config.send_overhead_s)
+        yield self.config.send_overhead_s
         return self.post(msg)
 
     def post(self, msg: NetMessage) -> Signal:
@@ -159,38 +227,57 @@ class Network:
         a lump by the protocol layer).  Returns the delivery signal.
         """
         self._validate(msg)
+        src = msg.src
+        kind = msg.kind
         wire = msg.size + self.HEADER_BYTES
-        self.bytes_sent[msg.src] += wire
-        self.msgs_sent[msg.src] += 1
-        self.bytes_by_kind[msg.kind] = self.bytes_by_kind.get(msg.kind, 0) + wire
-        self.msgs_by_kind[msg.kind] = self.msgs_by_kind.get(msg.kind, 0) + 1
-        if self.tracer is not None and self.tracer.enabled:
-            msg.obs_eid = self.tracer.edge_send(
-                self.sim.now, msg.src, msg.dst, msg.kind, wire)
+        self.bytes_sent[src] += wire
+        self.msgs_sent[src] += 1
+        bk = self.bytes_by_kind
+        bk[kind] = bk.get(kind, 0) + wire
+        mk = self.msgs_by_kind
+        mk[kind] = mk.get(kind, 0) + 1
+        tracer = self.tracer
+        if tracer is not None and _trc.TRACING_ACTIVE and tracer.enabled:
+            msg.obs_eid = tracer.edge_send(
+                self.sim.now, src, msg.dst, kind, wire)
 
-        tx_done = self._nics[msg.src].request(self.config.transfer_time(wire))
-        delivered = Signal(f"net.{msg.kind}.{msg.src}->{msg.dst}")
-        extra = self.config.latency_s + self.config.recv_overhead_s
+        sim = self.sim
+        if not self._faulty and sim.choice_fn is None:
+            # Fast path: arithmetic NIC reservation (same stats updates
+            # as FifoServer.request) plus one two-phase _Hop callable in
+            # place of the tx_done signal and nested closures.
+            nic = self._nics[src]
+            now = sim.now
+            avail = nic._available_at
+            start = avail if avail > now else now
+            service = wire / self._bw
+            finish = start + service
+            nic._available_at = finish
+            nic.busy_time += service
+            nic.num_requests += 1
+            delivered = Signal("net.delivered")
+            sim.schedule(finish - now, _Hop(self, msg, delivered))
+            return delivered
+
+        tx_done = self._nics[src].request(self.config.transfer_time(wire))
+        delivered = Signal(f"net.{kind}.{src}->{msg.dst}")
+        extra = self._extra
 
         if not self._faulty:
-            if self.sim.choice_fn is not None:
-                link = (msg.src, msg.dst)
-                seq = self._link_seq.get(link, 0)
-                self._link_seq[link] = seq + 1
-                label = DeliveryLabel(
-                    msg.src, msg.dst, msg.kind, seq, _payload_pages(msg.payload)
+            # Controlled scheduler (model checker): every delivery is a
+            # labelled choice point.  The uncontrolled case returned on
+            # the fast path above.
+            link = (msg.src, msg.dst)
+            seq = self._link_seq.get(link, 0)
+            self._link_seq[link] = seq + 1
+            label = DeliveryLabel(
+                msg.src, msg.dst, msg.kind, seq, _payload_pages(msg.payload)
+            )
+
+            def on_tx(_finish: Any) -> None:
+                self.sim.schedule_labeled(
+                    extra, lambda: self._deliver(msg, delivered), label
                 )
-
-                def on_tx(_finish: Any) -> None:
-                    self.sim.schedule_labeled(
-                        extra, lambda: self._deliver(msg, delivered), label
-                    )
-
-            else:
-
-                def on_tx(_finish: Any) -> None:
-                    self.sim.schedule(
-                        extra, lambda: self._deliver(msg, delivered))
 
         else:
             plan = self.fault_plan
@@ -216,7 +303,7 @@ class Network:
     def _deliver(self, msg: NetMessage, delivered: Signal) -> None:
         """Final hop: hand the frame to the receiver (or the transport)."""
         msg.delivered_at = self.sim.now
-        if self.tracer is not None and self.tracer.enabled:
+        if self.tracer is not None and _trc.TRACING_ACTIVE and self.tracer.enabled:
             self.tracer.edge_recv(msg.obs_eid, self.sim.now)
         hook = self.deliver_hook
         if hook is None or not hook(msg):

@@ -7,6 +7,12 @@ another :class:`SimProcess` to join).  Sub-operations compose with
 ``yield from``, which lets protocol code (page fetches, lock hand-offs,
 disk flushes) run *inside* the simulated timeline of its caller --
 exactly how the DSM layer is written.
+
+The engine queues :class:`SimProcess` objects directly and steps their
+generators inline in its drain loop (no closure per step); the
+``_step``/``_wait_on`` methods here are the cold-path twin of that
+inlined dispatch, used when a process is started outside the engine
+loop.  The two must stay in sync.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ class SimProcess:
 
     __slots__ = (
         "sim", "gen", "name", "finished", "killed", "result", "error",
-        "done", "_waiting_on", "_started",
+        "done", "_waiting_on", "_started", "_value", "_resume_cb",
     )
 
     def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str):
@@ -49,6 +55,12 @@ class SimProcess:
         self.done = Signal(f"{name}.done")
         self._waiting_on: Optional[Signal] = None
         self._started = False
+        #: Value the next step sends into the generator (set on resume).
+        self._value: Any = None
+        #: The one bound-method resume callback this process ever
+        #: registers (allocated once; signals and kill() must see the
+        #: same object for ``discard_callback`` to work).
+        self._resume_cb = self._resume
 
     # ------------------------------------------------------------------
     @property
@@ -57,7 +69,11 @@ class SimProcess:
         return not self.finished and not self.killed
 
     def start(self) -> None:
-        """First step; invoked by the engine at spawn time."""
+        """First step; runs the process up to its first wait.
+
+        The engine steps spawned processes itself; this is the
+        entry point for driving a process outside :meth:`Simulator.run`.
+        """
         if self._started or not self.alive:
             return
         self._started = True
@@ -74,7 +90,7 @@ class SimProcess:
             return
         self.killed = True
         if self._waiting_on is not None:
-            self._waiting_on.discard_callback(self._resume)
+            self._waiting_on.discard_callback(self._resume_cb)
             self._waiting_on = None
         try:
             self.gen.throw(ProcessKilled(f"process {self.name} killed"))
@@ -87,13 +103,21 @@ class SimProcess:
 
     # ------------------------------------------------------------------
     def _resume(self, value: Any) -> None:
-        """Signal callback: schedule the next step at the current time."""
+        """Signal callback: queue the next step at the current time."""
         self._waiting_on = None
-        self.sim.schedule(0.0, lambda: self._step(value))
+        self._value = value
+        sim = self.sim
+        act = sim._active
+        if act is not None:
+            act.append(self)
+        else:
+            sim.schedule(0.0, self)
 
     def _step(self, value: Any) -> None:
+        # Cold-path twin of the engine's inlined step; keep in sync.
         if not self.alive:
             return
+        self._started = True
         try:
             request = self.gen.send(value)
         except StopIteration as stop:
@@ -113,18 +137,24 @@ class SimProcess:
         self._wait_on(request)
 
     def _wait_on(self, request: Any) -> None:
-        if isinstance(request, Timeout):
-            self.sim.schedule(request.delay, lambda: self._step(None))
+        if isinstance(request, (float, int)) and not isinstance(request, bool):
+            # Bare numbers are timeout requests (the zero-allocation hot
+            # idiom; ``Timeout`` remains the validated wrapper).
+            if request < 0:
+                raise SimulationError(f"negative timeout: {request}")
+            self.sim.schedule(float(request), self)
+        elif isinstance(request, Timeout):
+            self.sim.schedule(request.delay, self)
         elif isinstance(request, Signal):
             self._waiting_on = request
-            request.add_callback(self._resume)
+            request.add_callback(self._resume_cb)
         elif isinstance(request, AllOf):
             sig = request.as_signal()
             self._waiting_on = sig
-            sig.add_callback(self._resume)
+            sig.add_callback(self._resume_cb)
         elif isinstance(request, SimProcess):
             self._waiting_on = request.done
-            request.done.add_callback(self._resume)
+            request.done.add_callback(self._resume_cb)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported request {request!r}"

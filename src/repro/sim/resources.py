@@ -23,6 +23,11 @@ from .events import Signal
 __all__ = ["FifoServer", "Mailbox"]
 
 
+def _MATCH_ANY(_msg: Any) -> bool:
+    """Default receive predicate: accept any message (shared, not per-call)."""
+    return True
+
+
 class FifoServer:
     """Non-preemptive single-server FIFO queue with additive service times.
 
@@ -69,6 +74,7 @@ class Mailbox:
     def __init__(self, sim: Simulator, name: str = "mbox"):
         self.sim = sim
         self.name = name
+        self._get_name = name + ".get"
         self._queue: Deque[Any] = deque()
         self._waiters: List[Tuple[Callable[[Any], bool], Signal]] = []
         self.delivered = 0
@@ -86,14 +92,14 @@ class Mailbox:
     def get(self, pred: Optional[Callable[[Any], bool]] = None) -> Signal:
         """Return a signal that fires with the next matching message."""
         if pred is None:
-            pred = lambda _msg: True  # noqa: E731 - tiny predicate
+            pred = _MATCH_ANY
         for i, msg in enumerate(self._queue):
             if pred(msg):
                 del self._queue[i]
-                sig = Signal(f"{self.name}.get")
+                sig = Signal(self._get_name)
                 sig.trigger(msg)
                 return sig
-        sig = Signal(f"{self.name}.get")
+        sig = Signal(self._get_name)
         self._waiters.append((pred, sig))
         return sig
 

@@ -40,7 +40,18 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Ev", "TraceEvent", "Span", "MsgEdge", "Tracer"]
+__all__ = ["Ev", "TraceEvent", "Span", "MsgEdge", "Tracer", "TRACING_ACTIVE"]
+
+#: Module-level "any tracer enabled" flag, maintained by the
+#: :attr:`Tracer.enabled` setter.  Hot call sites check this (one module
+#: attribute load) before touching per-object tracer state or building
+#: span names / detail dicts, so a tracing-off run allocates nothing on
+#: the observation paths.  Conservative: it may stay True after an
+#: enabled tracer is abandoned without being disabled — sites must still
+#: check their own tracer's ``enabled`` when the flag is set.
+TRACING_ACTIVE = False
+
+_enabled_tracers = 0
 
 
 class Ev:
@@ -225,6 +236,7 @@ class Tracer:
     """
 
     def __init__(self, enabled: bool = False, maxlen: Optional[int] = None):
+        self._enabled = False
         self.enabled = enabled
         self.maxlen = maxlen
         if maxlen is None:
@@ -239,9 +251,26 @@ class Tracer:
         #: Open-span stack per (node, strand), for parent assignment.
         self._stacks: Dict[Tuple[int, str], List[int]] = {}
 
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records; the setter maintains
+        :data:`TRACING_ACTIVE` so hot paths can short-circuit globally."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        value = bool(value)
+        global _enabled_tracers, TRACING_ACTIVE
+        if value and not self._enabled:
+            _enabled_tracers += 1
+        elif not value and self._enabled:
+            _enabled_tracers -= 1
+        self._enabled = value
+        TRACING_ACTIVE = _enabled_tracers > 0
+
     def record(self, time: float, node: int, event: str, detail: Any = None) -> None:
         """Record an event if tracing is enabled."""
-        if self.enabled:
+        if self._enabled:
             if self.maxlen is not None and len(self.events) == self.maxlen:
                 self.dropped += 1
             self.events.append(TraceEvent(time, node, event, detail))
@@ -265,7 +294,7 @@ class Tracer:
         ``(node, strand)``; pass ``parent`` to attach elsewhere (e.g. a
         disk-strand flush span parented to the sealing release).
         """
-        if not self.enabled:
+        if not self._enabled:
             return -1
         stack = self._stacks.setdefault((node, strand), [])
         if parent is None:
@@ -279,7 +308,7 @@ class Tracer:
     def end(self, sid: int, time: float) -> None:
         """Close a span opened by :meth:`begin` (no-op for sid < 0)."""
         # bounds check: a flush-completion callback may fire after clear()
-        if sid < 0 or sid >= len(self.spans) or not self.enabled:
+        if sid < 0 or sid >= len(self.spans) or not self._enabled:
             return
         span = self.spans[sid]
         span.t1 = time
@@ -290,7 +319,7 @@ class Tracer:
     def edge_send(self, time: float, src: int, dst: int, kind: str,
                   size: int) -> int:
         """Record a message leaving ``src``; returns the edge id (-1 off)."""
-        if not self.enabled:
+        if not self._enabled:
             return -1
         eid = len(self.edges)
         self.edges.append(MsgEdge(eid, src, dst, kind, size, time))
@@ -298,7 +327,7 @@ class Tracer:
 
     def edge_recv(self, eid: int, time: float) -> None:
         """Record the first delivery of edge ``eid`` (no-op for eid < 0)."""
-        if eid < 0 or eid >= len(self.edges) or not self.enabled:
+        if eid < 0 or eid >= len(self.edges) or not self._enabled:
             return
         edge = self.edges[eid]
         if edge.t_recv < 0:

@@ -2,6 +2,8 @@
 
 * :mod:`repro.core.ml` -- traditional message logging (baseline).
 * :mod:`repro.core.ccl` -- coherence-centric logging (the contribution).
+* :mod:`repro.core.adaptive` -- adaptive hybrid logging (CCL <-> ML per
+  interval under a recovery-time budget).
 * :mod:`repro.core.stablelog`, :mod:`repro.core.logrecords` -- the
   stable-storage log with byte-exact size accounting.
 * :mod:`repro.core.checkpoint` -- full + incremental checkpointing.
@@ -17,16 +19,19 @@ from .logging_base import (
     LoggingHooks,
     NoLogging,
     PROTOCOL_NAMES,
+    RECOVERY_PROTOCOL_NAMES,
     make_hooks,
     make_hooks_factory,
 )
 from .ml import MessageLogging
 from .ccl import CoherenceCentricLogging
+from .adaptive import AdaptiveLogging
 from .stablelog import StableLog
 from .logrecords import (
     FetchLogRecord,
     IncomingDiffLogRecord,
     LogRecord,
+    ModeSwitchLogRecord,
     NoticeLogRecord,
     OwnDiffLogRecord,
     PageCopyLogRecord,
@@ -41,6 +46,7 @@ from .recovery import (
     RecoveryResult,
     ReplayNode,
     compare_state,
+    replay_node_class,
     replay_failed_node,
     run_multi_recovery_experiment,
     run_recovery_experiment,
@@ -48,15 +54,18 @@ from .recovery import (
 from .chaos import ChaosCase, ChaosReport, run_chaos_run, run_chaos_suite
 from .ml_recovery import MlReplayNode
 from .ccl_recovery import CclReplayNode
+from .adaptive_recovery import AdaptiveReplayNode
 
 __all__ = [
     "LoggingHooks",
     "NoLogging",
     "PROTOCOL_NAMES",
+    "RECOVERY_PROTOCOL_NAMES",
     "make_hooks",
     "make_hooks_factory",
     "MessageLogging",
     "CoherenceCentricLogging",
+    "AdaptiveLogging",
     "StableLog",
     "LogRecord",
     "NoticeLogRecord",
@@ -65,6 +74,7 @@ __all__ = [
     "UpdateEventLogRecord",
     "IncomingDiffLogRecord",
     "OwnDiffLogRecord",
+    "ModeSwitchLogRecord",
     "Checkpointer",
     "CheckpointMeta",
     "CheckpointSnapshot",
@@ -79,6 +89,7 @@ __all__ = [
     "RecoveryResult",
     "MultiRecoveryResult",
     "compare_state",
+    "replay_node_class",
     "replay_failed_node",
     "run_recovery_experiment",
     "run_multi_recovery_experiment",
@@ -88,4 +99,5 @@ __all__ = [
     "run_chaos_suite",
     "MlReplayNode",
     "CclReplayNode",
+    "AdaptiveReplayNode",
 ]

@@ -1,0 +1,111 @@
+"""Adaptive recovery: dispatch each logged interval to ML or CCL replay.
+
+An adaptive log is a sequence of interval segments, each written in the
+mode the cost model had picked at the previous seal, delimited by
+:class:`~repro.core.logrecords.ModeSwitchLogRecord` markers (the bind-
+time marker names interval 0's mode, every later marker the interval
+its switch takes effect at).  Replay reads the full marker list up
+front -- the markers are tiny and live in the metadata stream -- and
+then routes every protocol-specific step of the base replay skeleton
+to the engine matching the *current* interval's mode:
+
+* ML-mode intervals replay purely locally
+  (:class:`~repro.core.ml_recovery.MlReplayNode`): boundary scan of the
+  logged contents, lazy page-copy reads at memory misses;
+* CCL-mode intervals replay coherence-centrically
+  (:class:`~repro.core.ccl_recovery.CclReplayNode`): one metadata scan,
+  then a combined wave of writer-log diff fetches and home
+  reconstructions.
+
+The dispatch must live in each overridable step (not just
+``_begin_interval``): CCL's interval-start path calls back into
+``_boundary_read``/``_prefetch_window``, and those calls must keep
+resolving to CCL behaviour for the whole interval even though the
+class inherits both engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from .ccl_recovery import CclReplayNode
+from .logrecords import ModeSwitchLogRecord
+from .ml_recovery import MlReplayNode
+from .recovery import ReplayNode
+
+__all__ = ["AdaptiveReplayNode"]
+
+
+class AdaptiveReplayNode(MlReplayNode, CclReplayNode):
+    """Replay engine for adaptive hybrid logs (per-interval dispatch)."""
+
+    protocol = "adaptive"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        markers = sorted(
+            self.plog.select(ModeSwitchLogRecord),
+            key=lambda r: r.interval,
+        )
+        #: ``(first_interval, mode)`` switch points in interval order.
+        self.switch_points: List[Tuple[int, str]] = [
+            (r.interval, r.mode) for r in markers
+        ]
+
+    def mode_at(self, interval: int) -> str:
+        """The logging mode in effect during ``interval``.
+
+        Defaults to the adaptive protocol's start mode when the log
+        holds no marker at or below the interval (a truncated view cut
+        before the bind-time marker never replays -- a durable view
+        without it has no durable records at all)."""
+        mode = "ml"
+        for first, m in self.switch_points:
+            if first <= interval:
+                mode = m
+            else:
+                break
+        return mode
+
+    @property
+    def _ccl_interval(self) -> bool:
+        return self.mode_at(self.interval_index) == "ccl"
+
+    # ------------------------------------------------------------------
+    # per-interval dispatch of every protocol-specific step
+    # ------------------------------------------------------------------
+    def _begin_interval(self) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._begin_interval(self)
+        else:
+            yield from ReplayNode._begin_interval(self)
+
+    def _boundary_read(self) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._boundary_read(self)
+        else:
+            yield from MlReplayNode._boundary_read(self)
+
+    def _apply_boundary_updates(self) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._apply_boundary_updates(self)
+        else:
+            yield from MlReplayNode._apply_boundary_updates(self)
+
+    def _window_read(self, window: int, notices) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._window_read(self, window, notices)
+        else:
+            yield from MlReplayNode._window_read(self, window, notices)
+
+    def _prefetch_window(self, window: int) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._prefetch_window(self, window)
+        else:
+            yield from MlReplayNode._prefetch_window(self, window)
+
+    def _replay_fault(self, page: int) -> Generator[Any, Any, None]:
+        if self._ccl_interval:
+            yield from CclReplayNode._replay_fault(self, page)
+        else:
+            yield from MlReplayNode._replay_fault(self, page)

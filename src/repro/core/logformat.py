@@ -47,6 +47,7 @@ from .logrecords import (
     FetchLogRecord,
     IncomingDiffLogRecord,
     LogRecord,
+    ModeSwitchLogRecord,
     NoticeLogRecord,
     OwnDiffLogRecord,
     PageCopyLogRecord,
@@ -84,6 +85,7 @@ TYPE_TAGS = {
     UpdateEventLogRecord: 4,
     IncomingDiffLogRecord: 5,
     OwnDiffLogRecord: 6,
+    ModeSwitchLogRecord: 7,
 }
 _BY_TAG = {tag: cls for cls, tag in TYPE_TAGS.items()}
 
@@ -249,6 +251,35 @@ def _parse_owndiff(rec: OwnDiffLogRecord, buf: bytes) -> None:
         rec.early.append((part, d, evt))
 
 
+#: Wire codes for the adaptive protocol's logging modes ("" marks the
+#: absent previous mode of the bind-time record).
+_MODE_CODES = {"": 0, "ml": 1, "ccl": 2}
+_MODE_NAMES = {code: name for name, code in _MODE_CODES.items()}
+_MODESWITCH = struct.Struct("<BBHdd")
+
+
+def _payload_modeswitch(out: bytearray, r: ModeSwitchLogRecord) -> None:
+    out += _MODESWITCH.pack(
+        _MODE_CODES[r.mode],
+        _MODE_CODES[r.prev_mode],
+        0,
+        r.est_replay_ml,
+        r.est_replay_ccl,
+    )
+
+
+def _parse_modeswitch(rec: ModeSwitchLogRecord, buf: bytes) -> None:
+    mode, prev, _pad, rec.est_replay_ml, rec.est_replay_ccl = (
+        _MODESWITCH.unpack_from(buf, 0)
+    )
+    if mode not in _MODE_NAMES or prev not in _MODE_NAMES:
+        raise LogFormatError(
+            f"mode-switch record names unknown mode code {mode}/{prev}"
+        )
+    rec.mode = _MODE_NAMES[mode]
+    rec.prev_mode = _MODE_NAMES[prev]
+
+
 _ENCODERS = {
     NoticeLogRecord: _payload_notice,
     FetchLogRecord: _payload_fetch,
@@ -256,6 +287,7 @@ _ENCODERS = {
     UpdateEventLogRecord: _payload_event,
     IncomingDiffLogRecord: _payload_incoming,
     OwnDiffLogRecord: _payload_owndiff,
+    ModeSwitchLogRecord: _payload_modeswitch,
 }
 _PARSERS = {
     1: _parse_notice,
@@ -264,6 +296,7 @@ _PARSERS = {
     4: _parse_event,
     5: _parse_incoming,
     6: _parse_owndiff,
+    7: _parse_modeswitch,
 }
 
 

@@ -2,12 +2,15 @@
 
 Re-exports the hook interface from the DSM layer (where it lives to
 keep the dependency graph acyclic) and provides the name-based factory
-the harness and the recovery driver use.
+the harness and the recovery driver use.  Every surface that offers a
+protocol choice (CLI flags, chaos matrices, recovery dispatch) derives
+it from :data:`PROTOCOL_NAMES` / :data:`RECOVERY_PROTOCOL_NAMES` here,
+so adding a protocol cannot silently miss one of them.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..dsm.logginghooks import LoggingHooks, NoLogging
 from ..errors import ConfigError
@@ -16,16 +19,33 @@ __all__ = [
     "LoggingHooks",
     "NoLogging",
     "PROTOCOL_NAMES",
+    "RECOVERY_PROTOCOL_NAMES",
     "make_hooks",
     "make_hooks_factory",
 ]
 
-#: The three protocols of the evaluation (paper Section 4).
-PROTOCOL_NAMES = ("none", "ml", "ccl")
+#: The three protocols of the evaluation (paper Section 4) plus the
+#: adaptive hybrid that switches between ML and CCL per interval.
+PROTOCOL_NAMES = ("none", "ml", "ccl", "adaptive")
+
+#: The subset whose logs a crashed node can be replayed from.
+RECOVERY_PROTOCOL_NAMES = ("ml", "ccl", "adaptive")
 
 
-def make_hooks(name: str) -> LoggingHooks:
-    """Instantiate a logging protocol by name."""
+def make_hooks(
+    name: str, recovery_budget: Optional[float] = None
+) -> LoggingHooks:
+    """Instantiate a logging protocol by name.
+
+    ``recovery_budget`` (virtual seconds) only applies to the adaptive
+    protocol; passing it with a static protocol is a configuration
+    error rather than a silently ignored knob.
+    """
+    if recovery_budget is not None and name != "adaptive":
+        raise ConfigError(
+            f"recovery_budget only applies to the adaptive protocol, "
+            f"not {name!r}"
+        )
     if name == "none":
         return NoLogging()
     if name == "ml":
@@ -36,10 +56,24 @@ def make_hooks(name: str) -> LoggingHooks:
         from .ccl import CoherenceCentricLogging
 
         return CoherenceCentricLogging()
+    if name == "adaptive":
+        from .adaptive import AdaptiveLogging
+
+        return AdaptiveLogging(recovery_budget=recovery_budget)
     raise ConfigError(f"unknown logging protocol {name!r}; know {PROTOCOL_NAMES}")
 
 
-def make_hooks_factory(name: str) -> Callable[[int], LoggingHooks]:
+def make_hooks_factory(
+    name: str, recovery_budget: Optional[float] = None
+) -> Callable[[int], LoggingHooks]:
     """A per-node factory for :class:`~repro.dsm.system.DsmSystem`."""
-    make_hooks(name)  # validate eagerly
-    return lambda _node_id: make_hooks(name)
+    if name not in PROTOCOL_NAMES:
+        raise ConfigError(
+            f"unknown logging protocol {name!r}; know {PROTOCOL_NAMES}"
+        )
+    if recovery_budget is not None and name != "adaptive":
+        raise ConfigError(
+            f"recovery_budget only applies to the adaptive protocol, "
+            f"not {name!r}"
+        )
+    return lambda _node_id: make_hooks(name, recovery_budget=recovery_budget)

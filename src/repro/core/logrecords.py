@@ -37,6 +37,7 @@ __all__ = [
     "UpdateEventLogRecord",
     "IncomingDiffLogRecord",
     "OwnDiffLogRecord",
+    "ModeSwitchLogRecord",
 ]
 
 #: Frame header bytes per record: type tag (1), flags (1), window (2),
@@ -199,3 +200,27 @@ class OwnDiffLogRecord(LogRecord):
             if p == part and d.page == page:
                 return d, evt
         return None
+
+
+@dataclass
+class ModeSwitchLogRecord(LogRecord):
+    """Adaptive logging: the logging mode in effect from ``interval`` on.
+
+    Appended by the adaptive protocol whenever its cost model flips
+    between CCL and ML mode (and once at bind time, so every log opens
+    with its starting mode).  Replay reads these records first and
+    dispatches each interval segment to the matching replay engine.
+    The two replay-time estimates that drove the decision are logged
+    too -- they make post-mortem analysis of a switch schedule possible
+    without rerunning the cost model.
+    """
+
+    mode: str = "ccl"
+    prev_mode: str = ""
+    est_replay_ml: float = 0.0
+    est_replay_ccl: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        # u8 mode + u8 prev mode + u16 pad, then two f64 estimates
+        return FRAME_HEADER_BYTES + 4 + 16

@@ -55,13 +55,14 @@ from ..sim.network import NetMessage, Network
 from ..sim.stats import NodeStats
 from .checkpoint import Checkpointer, CheckpointSnapshot
 from .failure import CrashProbe, FailureSnapshot
-from .logging_base import make_hooks_factory
+from .logging_base import RECOVERY_PROTOCOL_NAMES, make_hooks_factory
 from .logrecords import NoticeLogRecord
 from .responder import FailedNodeResponder, SurvivorResponder
 from .stablelog import StableLog
 
 __all__ = [
     "ReplayNode",
+    "replay_node_class",
     "RecoveryResult",
     "MultiRecoveryResult",
     "replay_failed_node",
@@ -69,6 +70,30 @@ __all__ = [
     "run_multi_recovery_experiment",
     "compare_state",
 ]
+
+
+def replay_node_class(protocol: str):
+    """Explicit protocol-name → replay-class dispatch.
+
+    Raises :class:`~repro.errors.RecoveryError` on unknown names -- the
+    old ``ml-else-ccl`` fallback silently replayed any typo with the
+    CCL engine.
+    """
+    from .adaptive_recovery import AdaptiveReplayNode
+    from .ccl_recovery import CclReplayNode
+    from .ml_recovery import MlReplayNode
+
+    classes = {
+        "ml": MlReplayNode,
+        "ccl": CclReplayNode,
+        "adaptive": AdaptiveReplayNode,
+    }
+    if protocol not in classes:
+        raise RecoveryError(
+            f"no replay engine for protocol {protocol!r}; "
+            f"know {RECOVERY_PROTOCOL_NAMES}"
+        )
+    return classes[protocol]
 
 
 class ReplayNode:
@@ -481,9 +506,6 @@ def replay_failed_node(
     time.  Returns the replay node (for state verification) and the
     replay's virtual duration.
     """
-    from .ml_recovery import MlReplayNode
-    from .ccl_recovery import CclReplayNode
-
     if stop_at < 1:
         raise RecoveryError(f"replay needs at least one seal, got {stop_at}")
     sim_b = Simulator()
@@ -498,7 +520,7 @@ def replay_failed_node(
         if node.id != failed_node
     }
 
-    node_cls = MlReplayNode if protocol == "ml" else CclReplayNode
+    node_cls = replay_node_class(protocol)
     replay = node_cls(
         sim_b,
         net_b,
@@ -553,6 +575,7 @@ def run_recovery_experiment(
     checkpoint_mode: str = "seals",
     retention: Optional[int] = None,
     verify: bool = True,
+    recovery_budget: Optional[float] = None,
 ) -> RecoveryResult:
     """Run phase A (failure-free + probe) and phase B (timed replay).
 
@@ -567,7 +590,7 @@ def run_recovery_experiment(
     seal, so replay runs in *restore mode* (the checkpoint image is
     installed verbatim instead of fast-forwarded to).
     """
-    if protocol not in ("ml", "ccl"):
+    if protocol not in RECOVERY_PROTOCOL_NAMES:
         raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
     config = config or ClusterConfig.ultra5()
     if not (0 <= failed_node < config.num_nodes):
@@ -579,7 +602,9 @@ def run_recovery_experiment(
         )
 
     # ---------------- phase A: failure-free run with probe -------------
-    system_a = DsmSystem(app, config, make_hooks_factory(protocol))
+    system_a = DsmSystem(
+        app, config, make_hooks_factory(protocol, recovery_budget=recovery_budget)
+    )
     probe = CrashProbe(failed_node, at_seal)
     system_a.add_probe(probe)
     checkpointers: Dict[int, Checkpointer] = {}
@@ -686,6 +711,7 @@ def run_multi_recovery_experiment(
     retention: Optional[int] = None,
     disk_fault_plan=None,
     verify: bool = True,
+    recovery_budget: Optional[float] = None,
 ) -> MultiRecoveryResult:
     """Crash several nodes at their final intervals and recover them all.
 
@@ -707,11 +733,9 @@ def run_multi_recovery_experiment(
     responders serve peers from their *full* phase-A logs -- peer-served
     data is not subject to this victim's salvage cut.
     """
-    from .ml_recovery import MlReplayNode
-    from .ccl_recovery import CclReplayNode
     from .salvage import SalvageReport, plan_recovery, salvage_log
 
-    if protocol not in ("ml", "ccl"):
+    if protocol not in RECOVERY_PROTOCOL_NAMES:
         raise RecoveryError(f"recovery requires a logging protocol, got {protocol!r}")
     if len(set(failed_nodes)) != len(failed_nodes) or not failed_nodes:
         raise RecoveryError(f"bad failed-node set: {failed_nodes}")
@@ -728,7 +752,7 @@ def run_multi_recovery_experiment(
     # ---------------- phase A: failure-free run with one probe each ----
     use_instant = at_time is not None
     system_a = DsmSystem(
-        app, config, make_hooks_factory(protocol),
+        app, config, make_hooks_factory(protocol, recovery_budget=recovery_budget),
         disk_fault_plan=disk_fault_plan,
     )
     probes = {f: CrashProbe(f, capture_all=use_instant) for f in failed_nodes}
@@ -805,7 +829,7 @@ def run_multi_recovery_experiment(
         else:
             responders[node.id] = SurvivorResponder(node, ckpt_image)
 
-    node_cls = MlReplayNode if protocol == "ml" else CclReplayNode
+    node_cls = replay_node_class(protocol)
     replays: Dict[int, ReplayNode] = {}
     for f in failed_nodes:
         peer_responders = {i: r for i, r in responders.items() if i != f}

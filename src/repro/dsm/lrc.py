@@ -193,6 +193,7 @@ class LrcNode(HlrcNode):
     # ==================================================================
     def _end_interval(self) -> Generator[Any, Any, None]:
         cpu = self.cfg.cpu
+        record = None
         dirty = self.pagetable.take_dirty()
         if dirty:
             vt_index = self.vt[self.id]
@@ -223,6 +224,12 @@ class LrcNode(HlrcNode):
             record = IntervalRecord(self.id, vt_index, new_vt, tuple(kept_pages))
             self.table.add(record)
             self.vt = new_vt
+        # homeless LRC only runs under the 'none' protocol (enforced in
+        # __init__), but the seal still crosses the logging seam so the
+        # replay contract stays uniform across protocol variants
+        self.hooks.notify_interval_end(
+            self.interval_index, self.vt, [], [], record
+        )
         self._trace("seal", self.interval_index)
         self.interval_index += 1
         self.acq_seq = 0

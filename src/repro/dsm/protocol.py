@@ -74,7 +74,9 @@ _SPECS = (
     ),
     MessageSpec(
         "diff_ack", "DiffAck",
-        consumers=("_end_interval", "_flush_early_diffs"),
+        consumers=("_end_interval", "_early_diff_flush"),
+        logged_state=("vt", "interval_index"),
+        log_hook="notify_interval_end",
     ),
     # -- lock path ------------------------------------------------------
     MessageSpec(

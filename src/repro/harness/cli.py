@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional
 
 from ..apps import PAPER_APPS
 from ..config import ClusterConfig
+from ..core.logging_base import PROTOCOL_NAMES, RECOVERY_PROTOCOL_NAMES
 from ..obs.artifacts import config_dict, result_summary, write_bundle
 from ..obs.console import configure as configure_console
 from .figures import fig4_rows, fig5_rows, render_fig4, render_fig5, write_csv
@@ -83,9 +84,14 @@ def _parser() -> argparse.ArgumentParser:
                         "(default: stdout / BENCH_perf.json / "
                         "timeline.json)")
     p.add_argument("--protocol", default="ccl",
-                   choices=["none", "ml", "ccl"],
+                   choices=list(PROTOCOL_NAMES),
                    help="logging protocol for the breakdown/timeline/"
                         "critical-path commands")
+    p.add_argument("--recovery-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="adaptive protocol only: worst-case recovery-time "
+                        "bound (virtual seconds) its cost model enforces; "
+                        "default: unbounded (pure overhead minimisation)")
     p.add_argument("--paper-mode", action="store_true",
                    help="writer-aligned homes + no home-write logging "
                         "(reproduces the paper's log-size ratios; "
@@ -106,7 +112,7 @@ def _parser() -> argparse.ArgumentParser:
                    help="fan independent simulations out over N processes "
                         "(default: serial; output is byte-identical)")
     p.add_argument("--which", default="disk",
-                   choices=["disk", "pagesize", "logsize"],
+                   choices=["disk", "pagesize", "logsize", "adaptive"],
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
@@ -131,7 +137,7 @@ def _parser() -> argparse.ArgumentParser:
         "chaos", "seeded fault-injection / arbitrary-instant crash suite"
     )
     chaos.add_argument("--protocols", nargs="*", default=["ccl", "ml"],
-                       choices=["ccl", "ml"],
+                       choices=list(RECOVERY_PROTOCOL_NAMES),
                        help="logging protocols to exercise")
     chaos.add_argument("--seeds", type=int, default=13,
                        help="number of seeds per (app, protocol) pair")
@@ -354,7 +360,8 @@ def _dispatch(args, con) -> int:
 
         for name in args.apps:
             result, _system = run_application(
-                name, args.protocol, config, args.scale
+                name, args.protocol, config, args.scale,
+                recovery_budget=args.recovery_budget,
             )
             con.result(render_breakdown(result))
             con.result("")

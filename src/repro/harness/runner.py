@@ -34,12 +34,13 @@ __all__ = [
 ]
 
 
-def _hooks_factory(protocol: str, paper_mode: bool):
+def _hooks_factory(protocol: str, paper_mode: bool,
+                   recovery_budget: Optional[float] = None):
     if paper_mode and protocol == "ccl":
         from ..core import CoherenceCentricLogging
 
         return lambda _i: CoherenceCentricLogging(log_home_diffs=False)
-    return make_hooks_factory(protocol)
+    return make_hooks_factory(protocol, recovery_budget=recovery_budget)
 
 
 def run_application(
@@ -49,6 +50,7 @@ def run_application(
     scale: str = "bench",
     verify: bool = True,
     paper_mode: bool = False,
+    recovery_budget: Optional[float] = None,
     **app_overrides,
 ) -> Tuple[RunResult, DsmSystem]:
     """Run one application once; optionally verify its numerics.
@@ -67,7 +69,9 @@ def run_application(
         kwargs.setdefault("home_policy", "aligned")
     app = make_app(app_name, **kwargs)
     system = DsmSystem(
-        app, config, _hooks_factory(protocol, paper_mode), protocol_name=protocol
+        app, config,
+        _hooks_factory(protocol, paper_mode, recovery_budget=recovery_budget),
+        protocol_name=protocol,
     )
     result = system.run()
     if verify and not app.verify(system):

@@ -185,6 +185,8 @@ class MetricsRegistry:
                             help_text="virtual seconds by breakdown bucket",
                             node=stats.node_id, category=cat)
         live = reclaimed = 0.0
+        mode_bytes = {"ml": 0.0, "ccl": 0.0}
+        mode_switches = 0.0
         for summary in result.log_summaries:
             for key, value in sorted(summary.items()):
                 if isinstance(value, (int, float)):
@@ -192,6 +194,20 @@ class MetricsRegistry:
                                 help_text="stable-log statistic")
             live += summary.get("live_log_bytes", 0)
             reclaimed += summary.get("reclaimed_bytes", 0)
+            mode_switches += summary.get("mode_switches", 0)
+            for mode in mode_bytes:
+                mode_bytes[mode] += summary.get(f"{mode}_mode_bytes", 0)
+        if mode_switches or any(mode_bytes.values()):
+            # adaptive hybrid logging: how the log volume split between
+            # the two modes, and how often the cost model flipped
+            reg.counter("repro_log_mode_switches", mode_switches,
+                        help_text="adaptive logging mode switches across "
+                                  "all nodes")
+            for mode, nbytes in sorted(mode_bytes.items()):
+                reg.gauge("repro_log_mode_bytes", nbytes,
+                          help_text="log bytes appended while the adaptive "
+                                    "protocol ran in each mode",
+                          mode=mode)
         reg.gauge("repro_log_live_bytes", live,
                   help_text="on-disk log bytes not yet reclaimed by "
                             "checkpoint-driven truncation")

@@ -12,6 +12,7 @@ import pytest
 from repro.core import (
     FetchLogRecord,
     IncomingDiffLogRecord,
+    ModeSwitchLogRecord,
     NoticeLogRecord,
     OwnDiffLogRecord,
     PageCopyLogRecord,
@@ -60,6 +61,9 @@ def sample_records():
                          home_diffs=[small_diff(9, 2)],
                          early=[(1, small_diff(4, 1),
                                  VectorClock((1, 0, 0, 0)))]),
+        ModeSwitchLogRecord(0, 0, mode="ml", prev_mode=""),
+        ModeSwitchLogRecord(8, 0, mode="ccl", prev_mode="ml",
+                            est_replay_ml=1.5e-3, est_replay_ccl=0.25e-3),
     ]
 
 

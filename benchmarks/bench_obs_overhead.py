@@ -22,7 +22,7 @@ from repro.apps import make_app
 from repro.core import CoherenceCentricLogging
 from repro.dsm import DsmSystem
 from repro.harness import app_kwargs, render_sweep, sweep
-from repro.obs import chrome_trace, critical_path, flush_overlap
+from repro.obs import LatencyRecorder, chrome_trace, critical_path, flush_overlap
 from repro.sim.trace import Tracer
 
 
@@ -89,3 +89,35 @@ def test_obs_overhead(benchmark, ultra5, save_artifact):
     # untraced run locally; bound at 3x/5x for shared CI runners.
     assert times["spans_s"] < 3 * max(times["off_s"], 0.05)
     assert times["exported_s"] < 5 * max(times["off_s"], 0.05)
+
+
+def test_latency_recorder_overhead(benchmark):
+    """Bound the always-on streaming latency recorder's observe() cost.
+
+    The recorder runs unconditionally in the lock/barrier/page-fetch
+    paths (unlike spans it has no off switch), so its per-observation
+    cost is the one number that must stay sub-microsecond-ish.  Bound
+    it well below 5us/observe even on shared runners -- at the
+    simulator's ~10-100 observations per virtual millisecond that keeps
+    the recorder invisible next to event dispatch.
+    """
+    n = 200_000
+    values = [1e-6 * (1 + (i % 997)) for i in range(n)]
+
+    def body():
+        rec = LatencyRecorder()
+        observe = rec.observe
+        for v in values:
+            observe(v)
+        return rec
+
+    rec = benchmark(body)
+    assert rec.count == n
+    per_observe = benchmark.stats.stats.mean / n
+    benchmark.extra_info["ns_per_observe"] = round(per_observe * 1e9, 1)
+    assert per_observe < 5e-6, (
+        f"LatencyRecorder.observe costs {per_observe * 1e9:.0f} ns -- "
+        "too slow for always-on instrumentation"
+    )
+    # sanity: the histogram actually answers quantile queries
+    assert 0 < rec.quantile(0.99) <= rec.max

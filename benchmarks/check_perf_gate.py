@@ -49,6 +49,12 @@ PARITY_GATED_KERNELS = [
     "stablelog_encode",
 ]
 
+#: history.jsonl entry schemas this gate knows how to read.  Entries
+#: written before the field existed are treated as schema 1; entries
+#: from a *newer* checkout are skipped with a warning instead of
+#: crashing the gate (forward compatibility).
+SUPPORTED_HISTORY_SCHEMAS = {1}
+
 
 def load_baseline(path: str) -> tuple:
     """Baseline (kernel entry, throughput entry) from the trajectory.
@@ -56,17 +62,32 @@ def load_baseline(path: str) -> tuple:
     Headline-only ``repro perf --target`` entries carry no kernel
     timings (and pre-campaign entries carry no events/s), so each
     metric family baselines against the most recent entry that actually
-    recorded it.
+    recorded it.  Entries with an unknown ``schema`` are skipped with a
+    warning -- a newer writer must not brick an older gate.
     """
     with open(path) as fh:
         entries = [json.loads(ln) for ln in fh.read().splitlines() if ln.strip()]
     if not entries:
         raise SystemExit(f"perf-gate: {path} is empty -- run `python -m repro perf`")
+    readable = []
+    for i, e in enumerate(entries):
+        schema = e.get("schema", 1)
+        if schema in SUPPORTED_HISTORY_SCHEMAS:
+            readable.append(e)
+        else:
+            print(f"perf-gate: WARNING skipping {path} entry {i} "
+                  f"(rev {e.get('git_rev', '?')}): unknown schema {schema!r} "
+                  f"(this gate reads {sorted(SUPPORTED_HISTORY_SCHEMAS)})")
+    if not readable:
+        raise SystemExit(
+            f"perf-gate: no readable entries in {path} -- every entry has an "
+            f"unknown schema; update the checkout or re-run `python -m repro perf`"
+        )
     kernels = next(
-        (e for e in reversed(entries) if e.get("kernels_ns_per_op")), {}
+        (e for e in reversed(readable) if e.get("kernels_ns_per_op")), {}
     )
     sim = next(
-        (e for e in reversed(entries) if e.get("sim_events_per_sec")), {}
+        (e for e in reversed(readable) if e.get("sim_events_per_sec")), {}
     )
     return kernels, sim
 
@@ -167,9 +188,42 @@ def main(argv=None) -> int:
     if failures:
         print(f"perf-gate: FAIL -- {len(failures)} metric(s) regressed more "
               f"than {args.tolerance:.0%}: {', '.join(failures)}")
+        print()
+        print(attribute_failure(best, base_k, base_s))
         return 1
     print(f"perf-gate: OK -- no metric regressed more than {args.tolerance:.0%}")
     return 0
+
+
+def attribute_failure(best: dict, base_k: dict, base_s: dict) -> str:
+    """Ranked regression attribution for a failed gate.
+
+    Builds two pseudo trajectory entries -- the baseline the gate
+    compared against and this run's best-of measurements -- and hands
+    them to ``repro explain``'s history mode, so the CI log ends with
+    *which* kernels moved, ranked by contribution, not just a threshold
+    breach.
+    """
+    from repro.obs.explain import explain_history, render_explain
+
+    baseline = {
+        "ts": base_k.get("ts") or base_s.get("ts"),
+        "git_rev": base_k.get("git_rev") or base_s.get("git_rev"),
+        "kernels_ns_per_op": dict(base_k.get("kernels_ns_per_op", {})),
+        "sim_events_per_sec": base_s.get("sim_events_per_sec"),
+    }
+    current = {
+        "ts": "this run",
+        "git_rev": "worktree",
+        "kernels_ns_per_op": {
+            name: row["ns_per_op"] for name, row in best.items()
+            if isinstance(row, dict) and row.get("ns_per_op") is not None
+        },
+        "sim_events_per_sec":
+            best["sim_event_throughput"]["events_per_sec"]
+            if "sim_event_throughput" in best else None,
+    }
+    return render_explain(explain_history(baseline, current))
 
 
 if __name__ == "__main__":

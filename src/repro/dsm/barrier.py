@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import SynchronizationError
+from ..obs.latency import LatencyRecorder
 from ..sim.events import Signal
 from ..sim.trace import Ev
 from .interval import VectorClock
@@ -29,9 +30,19 @@ class BarrierState:
     for episode ``E+1`` while the manager is still broadcasting episode
     ``E``'s releases, so check-ins carry an episode number and arrivals
     one episode ahead are queued until :meth:`next_episode`.
+
+    With a ``clock`` and a ``gather`` recorder the manager measures each
+    episode's *gather skew* -- first check-in to all-in -- into a
+    streaming latency histogram for the phase reports.
     """
 
-    def __init__(self, num_nodes: int, on_event: Optional[BarrierEventFn] = None):
+    def __init__(
+        self,
+        num_nodes: int,
+        on_event: Optional[BarrierEventFn] = None,
+        clock: Optional[Callable[[], float]] = None,
+        gather: Optional[LatencyRecorder] = None,
+    ):
         self.num_nodes = num_nodes
         self.episode = 0
         self._arrived: Dict[int, VectorClock] = {}
@@ -39,6 +50,11 @@ class BarrierState:
         self._all_in = Signal("barrier.all_in")
         #: Optional trace emitter (the coherence sanitizer's hook).
         self.on_event = on_event
+        #: Virtual clock for gather-skew measurement (``lambda: sim.now``).
+        self.clock = clock
+        #: Gather-skew latency histogram (first check-in to all-in).
+        self.gather = gather
+        self._first_checkin: Optional[float] = None
 
     def _emit(self, event: str, detail: dict) -> None:
         if self.on_event is not None:
@@ -64,10 +80,16 @@ class BarrierState:
                 f"node {node} checked in twice for barrier episode {self.episode}"
             )
         self._arrived[node] = vt
+        if self.clock is not None and self._first_checkin is None:
+            self._first_checkin = self.clock()
         self._emit(Ev.BARRIER_CHECKIN, {"node": node, "episode": self.episode,
                                         "vt": list(vt.as_tuple())})
         sig = self._all_in
         if len(self._arrived) == self.num_nodes:
+            if self.clock is not None and self._first_checkin is not None:
+                if self.gather is not None:
+                    self.gather.observe(self.clock() - self._first_checkin)
+                self._first_checkin = None
             self._emit(Ev.BARRIER_ALL_IN, {"episode": self.episode})
             sig.trigger(self.episode)
         return sig

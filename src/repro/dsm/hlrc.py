@@ -142,7 +142,10 @@ class HlrcNode:
         # manager state (populated lazily; every node can manage locks)
         self.lock_states: Dict[int, LockState] = {}
         self.barrier_state = (
-            BarrierState(n, on_event=self._manager_event) if node_id == 0 else None
+            BarrierState(n, on_event=self._manager_event,
+                         clock=lambda: self.sim.now,
+                         gather=self.stats.recorder("barrier_gather"))
+            if node_id == 0 else None
         )
 
         #: Reply-routing registry: (kind, key) -> Signal for the main process.
@@ -164,9 +167,14 @@ class HlrcNode:
     def _lock_state(self, lock_id: int) -> LockState:
         if self.lock_manager(lock_id) != self.id:
             raise ProtocolError(f"node {self.id} does not manage lock {lock_id}")
-        return self.lock_states.setdefault(
-            lock_id, LockState(lock_id, on_event=self._manager_event)
-        )
+        state = self.lock_states.get(lock_id)
+        if state is None:
+            state = self.lock_states[lock_id] = LockState(
+                lock_id, on_event=self._manager_event,
+                clock=lambda: self.sim.now,
+                waits=self.stats.recorder("lock_queue_wait"),
+            )
+        return state
 
     def _trace(self, event: str, detail: Any = None) -> None:
         """Record a protocol event on the system tracer (off by default)."""
@@ -468,8 +476,10 @@ class HlrcNode:
                 known = known.merge(r.vt)
             self.peer_known_vt[mgr] = known
         self.stats.charge("sync", self.sim.now - t0)
+        self.stats.observe("lock_acquire", self.sim.now - t0)
         self.stats.count("lock_acquires")
-        self._trace("acquire", lock_id)
+        if self._tracing:
+            self._trace("acquire", lock_id)
         yield from self._apply_notices(records)
         self.acq_seq += 1
         if self._tracing:
@@ -514,7 +524,8 @@ class HlrcNode:
                                   LockRelease(lock_id, self.id, records))
             self.peer_known_vt[mgr] = self.peer_known_vt[mgr].merge(self.vt)
         self.stats.count("lock_releases")
-        self._trace("release", lock_id)
+        if self._tracing:
+            self._trace("release", lock_id)
         self._span_end(osid)
 
     # ------------------------------------------------------------------
@@ -547,8 +558,10 @@ class HlrcNode:
                  "vt": list(self.vt.as_tuple())},
             )
         self.stats.charge("sync", self.sim.now - t0)
+        self.stats.observe("barrier", self.sim.now - t0)
         self.stats.count("barriers")
-        self._trace("barrier", barrier_id)
+        if self._tracing:
+            self._trace("barrier", barrier_id)
         # after a barrier every node's history covers the global cut, so
         # interval records at or below it can never be requested again
         pruned = self.table.prune_covered_by(self.vt)
@@ -838,6 +851,7 @@ class HlrcNode:
             yield AllOf(ack_sigs)
             self._span_end(wsid)
             self.stats.charge("diff_wait", self.sim.now - t0)
+            self.stats.observe("diff_wait", self.sim.now - t0)
             if self._tracing:
                 assert record is not None
                 self._trace(
@@ -865,7 +879,8 @@ class HlrcNode:
                         ],
                     },
                 )
-        self._trace("seal", self.interval_index)
+        if self._tracing:
+            self._trace("seal", self.interval_index)
         self.interval_index += 1
         self.acq_seq = 0
         self.interval_parts = 0
@@ -923,7 +938,9 @@ class HlrcNode:
         self.stats.count("page_faults")
         self.stats.count("page_bytes_fetched", len(reply.contents))
         self.stats.charge("fault", self.sim.now - t0)
-        self._trace("fault", page)
+        self.stats.observe("page_fetch", self.sim.now - t0)
+        if self._tracing:
+            self._trace("fault", page)
         if self._tracing:
             self._trace(
                 Ev.PAGE_FETCH,

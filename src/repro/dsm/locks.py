@@ -11,9 +11,10 @@ coherence information along the lock chain.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import SynchronizationError
+from ..obs.latency import LatencyRecorder
 from ..sim.trace import Ev
 from .interval import VectorClock
 
@@ -24,9 +25,22 @@ LockEventFn = Callable[[str, dict], None]
 
 
 class LockState:
-    """Ownership and wait queue of one lock at its manager."""
+    """Ownership and wait queue of one lock at its manager.
 
-    def __init__(self, lock_id: int, on_event: Optional[LockEventFn] = None):
+    With a ``clock`` and a ``waits`` recorder the manager also measures
+    each waiter's **queue time** (enqueue to grant) into a streaming
+    latency histogram, and keeps the grant-order **holder chain** --
+    both feed the lock-contention report (``repro query --report
+    locks``) without requiring tracing to be on.
+    """
+
+    def __init__(
+        self,
+        lock_id: int,
+        on_event: Optional[LockEventFn] = None,
+        clock: Optional[Callable[[], float]] = None,
+        waits: Optional[LatencyRecorder] = None,
+    ):
         self.lock_id = lock_id
         self.held = False
         self.holder: Optional[int] = None
@@ -35,6 +49,14 @@ class LockState:
         self.grants = 0
         #: Optional trace emitter (the coherence sanitizer's hook).
         self.on_event = on_event
+        #: Virtual clock for queue-wait measurement (``lambda: sim.now``).
+        self.clock = clock
+        #: Queue-wait latency histogram (shared with the node's stats).
+        self.waits = waits
+        #: Enqueue instants of current waiters, keyed by requester.
+        self._queued_at: Dict[int, float] = {}
+        #: Grant order -- the lock's holder chain.
+        self.holders: List[int] = []
 
     def _emit(self, event: str, detail: dict) -> None:
         if self.on_event is not None:
@@ -46,10 +68,15 @@ class LockState:
             self.held = True
             self.holder = requester
             self.grants += 1
+            self.holders.append(requester)
+            if self.waits is not None:
+                self.waits.observe(0.0)
             self._emit(Ev.LOCK_GRANT, {"lock": self.lock_id, "to": requester,
                                        "queued": False})
             return True
         self.queue.append((requester, vt))
+        if self.clock is not None:
+            self._queued_at[requester] = self.clock()
         self._emit(Ev.LOCK_QUEUE, {"lock": self.lock_id, "requester": requester})
         return False
 
@@ -67,6 +94,11 @@ class LockState:
             nxt, vt = self.queue.popleft()
             self.holder = nxt
             self.grants += 1
+            self.holders.append(nxt)
+            if self.clock is not None:
+                t_enq = self._queued_at.pop(nxt, None)
+                if t_enq is not None and self.waits is not None:
+                    self.waits.observe(self.clock() - t_enq)
             self._emit(Ev.LOCK_GRANT, {"lock": self.lock_id, "to": nxt,
                                        "queued": True})
             return (nxt, vt)

@@ -124,7 +124,7 @@ def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
             "repro_command": case.repro_command(),
         }
         bundle = write_bundle(args.runs_dir, manifest, tracer=tracer,
-                              run_id=None)
+                              run_id=None, seeds=[case.seed])
         con.result(f"  telemetry bundle for seed {case.seed}: {bundle}")
         dumped += 1
 

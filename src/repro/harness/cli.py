@@ -15,6 +15,8 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro timeline [runs/<id> | trace.jsonl]
     python -m repro critical-path [runs/<id> | trace.jsonl]
     python -m repro compare runs/<A> runs/<B>
+    python -m repro query [runs/<id>] [--report locks|pages|phases|flows]
+    python -m repro explain runs/<A> runs/<B> | A B --from-history
 
 Each command prints the rendered table/figure; ``--csv PREFIX`` also
 writes the underlying rows to ``PREFIX_<name>.csv``.  Output goes
@@ -52,7 +54,7 @@ __all__ = ["main"]
 COMMANDS = [
     "table1", "table2", "fig4", "fig5", "breakdown", "report", "analyze",
     "ablation", "perf", "chaos", "modelcheck", "timeline", "critical-path",
-    "compare", "all",
+    "compare", "query", "explain", "all",
 ]
 
 
@@ -69,14 +71,15 @@ def _parser() -> argparse.ArgumentParser:
              "sanitizer, 'perf' the microbenchmark suite, 'chaos' the "
              "seeded fault-injection/recovery property suite, 'modelcheck' "
              "the exhaustive small-scope schedule/crash explorer; "
-             "'timeline', 'critical-path' and 'compare' work on "
-             "run-artifact bundles)",
+             "'timeline', 'critical-path', 'compare', 'query' and "
+             "'explain' work on run-artifact bundles)",
     )
     p.add_argument("trace", nargs="?", default=None, metavar="TRACE",
-                   help="analyze/timeline/critical-path: a saved JSONL "
-                        "trace or a runs/<id> bundle; compare: bundle A")
+                   help="analyze/timeline/critical-path/query: a saved "
+                        "JSONL trace or a runs/<id> bundle; "
+                        "compare/explain: bundle A")
     p.add_argument("trace2", nargs="?", default=None, metavar="TRACE2",
-                   help="compare: bundle B")
+                   help="compare/explain: bundle B")
     p.add_argument("--save-trace", default=None, metavar="PATH",
                    help="analyze: also save the run's trace as JSONL")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -133,6 +136,15 @@ def _parser() -> argparse.ArgumentParser:
     obs.add_argument("--history", default="benchmark_results/history.jsonl",
                      metavar="PATH",
                      help="perf: the append-only perf trajectory file")
+    obs.add_argument("--report", default="all",
+                     choices=["locks", "pages", "phases", "flows", "all"],
+                     help="query: which built-in report to aggregate "
+                          "(default: all of them)")
+    obs.add_argument("--from-history", action="store_true",
+                     help="explain: A and B are integer indices into "
+                          "--history entries (0-based, from the front) "
+                          "instead of "
+                          "run bundles")
     chaos = p.add_argument_group(
         "chaos", "seeded fault-injection / arbitrary-instant crash suite"
     )
@@ -278,6 +290,16 @@ def _dispatch(args, con) -> int:
         from .obscmd import run_compare
 
         return run_compare(args)
+
+    if args.command == "query":
+        from .querycmd import run_query
+
+        return run_query(args, config)
+
+    if args.command == "explain":
+        from .querycmd import run_explain
+
+        return run_explain(args)
 
     if args.command in ("table1", "all"):
         con.result(render_table1(args.apps))

@@ -10,6 +10,15 @@ substrate:
   timelines from a recorded trace;
 * :mod:`repro.obs.metrics` -- a typed metrics registry
   (counters/gauges/histograms) with Prometheus text rendering;
+* :mod:`repro.obs.latency` -- the streaming log-bucketed latency
+  recorder (HDR-style, bounded memory, mergeable across nodes) the
+  protocol hot paths feed;
+* :mod:`repro.obs.analytics` -- columnar (numpy struct-of-arrays)
+  trace store with cached per-run indexes and the built-in
+  ``repro query`` reports (imported directly, not re-exported here,
+  to keep package import cheap);
+* :mod:`repro.obs.explain` -- perf-regression attribution between two
+  runs or two perf-trajectory entries (``repro explain``);
 * :mod:`repro.obs.artifacts` -- per-run ``runs/<id>/manifest.json``
   bundles, bundle loading, and bundle diffing for ``repro compare``;
 * :mod:`repro.obs.console` -- the harness's console output layer
@@ -30,11 +39,13 @@ from .artifacts import (
 from .console import Console, get_console
 from .critical import critical_path, flush_overlap, render_overlap, summarize_path
 from .export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from .latency import LatencyRecorder
 from .metrics import MetricsRegistry
 
 __all__ = [
     "Console",
     "get_console",
+    "LatencyRecorder",
     "MetricsRegistry",
     "chrome_trace",
     "validate_chrome_trace",

@@ -25,7 +25,10 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 __all__ = [
+    "MANIFEST_SCHEMA",
     "git_rev",
+    "git_sha",
+    "provenance",
     "new_run_id",
     "config_dict",
     "result_summary",
@@ -35,17 +38,47 @@ __all__ = [
     "render_compare",
 ]
 
+#: Manifest layout version.  2 added the ``provenance`` block (full git
+#: SHA, CLI argv, seeds) and per-operation latency percentiles in
+#: result summaries.
+MANIFEST_SCHEMA = 2
 
-def git_rev(cwd: Optional[str] = None) -> str:
-    """Short git revision of the working tree ("unknown" outside git)."""
+
+def _rev_parse(args: List[str], cwd: Optional[str] = None) -> str:
     try:
         out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
+            ["git", "rev-parse", *args],
             capture_output=True, text=True, timeout=10, cwd=cwd,
         )
     except (OSError, subprocess.SubprocessError):
         return "unknown"
     return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def git_rev(cwd: Optional[str] = None) -> str:
+    """Short git revision of the working tree ("unknown" outside git)."""
+    return _rev_parse(["--short", "HEAD"], cwd)
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Full git SHA of the working tree ("unknown" outside git)."""
+    return _rev_parse(["HEAD"], cwd)
+
+
+def provenance(seeds: Optional[List[int]] = None) -> Dict[str, Any]:
+    """What produced this run: full git SHA, CLI argv, seeds.
+
+    ``repro explain`` uses this block to label the two sides of a
+    comparison, so every manifest should carry one (``write_bundle``
+    adds it automatically).
+    """
+    import sys
+
+    return {
+        "git_sha": git_sha(),
+        "argv": list(sys.argv),
+        "seeds": list(seeds) if seeds is not None else [],
+    }
 
 
 def new_run_id(runs_dir: str, prefix: str = "run") -> str:
@@ -72,7 +105,7 @@ def config_dict(config: Any) -> Dict[str, Any]:
 
 def result_summary(result: Any) -> Dict[str, Any]:
     """Headline numbers of one RunResult for the manifest."""
-    return {
+    doc = {
         "app": result.app_name,
         "protocol": result.protocol,
         "total_time": result.total_time,
@@ -84,6 +117,11 @@ def result_summary(result: Any) -> Dict[str, Any]:
         "counters": dict(result.aggregate.counters),
         "time": result.aggregate.time.as_dict(),
     }
+    latency = getattr(result.aggregate, "latency", None)
+    if latency:
+        doc["latency"] = {op: rec.percentiles()
+                          for op, rec in sorted(latency.items())}
+    return doc
 
 
 def write_bundle(
@@ -92,6 +130,7 @@ def write_bundle(
     tracer: Any = None,
     timeline: Optional[Dict[str, Any]] = None,
     run_id: Optional[str] = None,
+    seeds: Optional[List[int]] = None,
 ) -> Path:
     """Write one run bundle; returns the bundle directory."""
     run_id = run_id or new_run_id(runs_dir)
@@ -99,8 +138,10 @@ def write_bundle(
     os.makedirs(bundle, exist_ok=True)
     manifest = dict(manifest)
     manifest.setdefault("run_id", run_id)
+    manifest.setdefault("schema", MANIFEST_SCHEMA)
     manifest.setdefault("created", time.strftime("%Y-%m-%dT%H:%M:%S"))
     manifest.setdefault("git_rev", git_rev())
+    manifest.setdefault("provenance", provenance(seeds=seeds))
     if tracer is not None and (tracer.spans or tracer.events or tracer.edges):
         tracer.save(str(bundle / "trace.jsonl"))
         manifest["trace_file"] = "trace.jsonl"

@@ -32,11 +32,22 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format requires escaping inside label values.
+    """
+    return (value.replace("\\", r"\\")
+                 .replace('"', r"\"")
+                 .replace("\n", r"\n"))
+
+
 def _fmt_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -184,6 +195,12 @@ class MetricsRegistry:
                 reg.counter("repro_time_seconds_total", stats.time.get(cat),
                             help_text="virtual seconds by breakdown bucket",
                             node=stats.node_id, category=cat)
+        for op, rec in sorted(getattr(result.aggregate, "latency", {}).items()):
+            for stat, value in rec.percentiles().items():
+                reg.gauge("repro_op_latency_seconds", value,
+                          help_text="per-operation latency distribution "
+                                    "(streaming log-bucketed recorder)",
+                          op=op, stat=stat)
         live = reclaimed = 0.0
         mode_bytes = {"ml": 0.0, "ccl": 0.0}
         mode_switches = 0.0

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping
 
+from ..obs.latency import LatencyRecorder
+
 __all__ = ["Counter", "TimeBreakdown", "NodeStats"]
 
 
@@ -86,6 +88,9 @@ class NodeStats:
         self.node_id = node_id
         self.counters = Counter()
         self.time = TimeBreakdown()
+        #: Per-operation streaming latency histograms (virtual seconds);
+        #: always on -- recording costs no virtual time.
+        self.latency: Dict[str, LatencyRecorder] = {}
 
     def count(self, key: str, amount: float = 1) -> None:
         """Shorthand for ``self.counters.add``."""
@@ -95,19 +100,41 @@ class NodeStats:
         """Shorthand for ``self.time.add``."""
         self.time.add(category, seconds)
 
+    def recorder(self, op: str) -> LatencyRecorder:
+        """The (lazily created) latency recorder for one operation."""
+        rec = self.latency.get(op)
+        if rec is None:
+            rec = self.latency[op] = LatencyRecorder()
+        return rec
+
+    def observe(self, op: str, seconds: float) -> None:
+        """Record one operation latency (virtual seconds)."""
+        rec = self.latency.get(op)
+        if rec is None:
+            rec = self.latency[op] = LatencyRecorder()
+        rec.observe(seconds)
+
     def as_dict(self) -> Dict[str, object]:
         """A JSON-friendly snapshot."""
         return {
             "node": self.node_id,
             "counters": dict(self.counters),
             "time": self.time.as_dict(),
+            "latency": {op: rec.percentiles()
+                        for op, rec in sorted(self.latency.items())},
         }
 
     @staticmethod
     def aggregate(stats: List["NodeStats"]) -> "NodeStats":
-        """Element-wise sum across nodes (node_id = -1)."""
+        """Element-wise sum across nodes (node_id = -1).
+
+        Latency histograms merge bucket-wise, so cluster percentiles
+        come from the true union of per-node observations.
+        """
         out = NodeStats(-1)
         for s in stats:
             out.counters.merge(s.counters)
             out.time.merge(s.time)
+            for op, rec in s.latency.items():
+                out.recorder(op).merge(rec)
         return out

@@ -1,0 +1,89 @@
+"""Unit tests for ``benchmarks/check_perf_gate.py`` (schema skip +
+failure attribution), without running the actual kernel timings."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (Path(__file__).resolve().parents[2]
+              / "benchmarks" / "check_perf_gate.py")
+_spec = importlib.util.spec_from_file_location("check_perf_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _write_history(tmp_path, entries):
+    path = tmp_path / "history.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+    return str(path)
+
+
+def test_load_baseline_picks_most_recent_per_metric(tmp_path):
+    path = _write_history(tmp_path, [
+        {"ts": "t0", "git_rev": "aaa",
+         "kernels_ns_per_op": {"apply_diff_dense": 100.0}},
+        {"ts": "t1", "git_rev": "bbb", "sim_events_per_sec": 1e6},
+        {"ts": "t2", "git_rev": "ccc", "sim_events_per_sec": 2e6},
+    ])
+    base_k, base_s = gate.load_baseline(path)
+    assert base_k["git_rev"] == "aaa"   # only entry with kernel timings
+    assert base_s["git_rev"] == "ccc"   # most recent with events/s
+
+
+def test_load_baseline_skips_unknown_schema_with_warning(tmp_path, capsys):
+    """A newer writer's entries are skipped, not a crash (satellite #2)."""
+    path = _write_history(tmp_path, [
+        {"ts": "t0", "git_rev": "old", "schema": 1, "sim_events_per_sec": 1e6},
+        {"ts": "t1", "git_rev": "new", "schema": 99, "sim_events_per_sec": 9e6,
+         "kernels_ns_per_op": {"apply_diff_dense": 1.0}},
+    ])
+    base_k, base_s = gate.load_baseline(path)
+    out = capsys.readouterr().out
+    assert "WARNING" in out and "unknown schema 99" in out
+    assert "rev new" in out
+    # the schema-99 entry contributed nothing
+    assert base_s["git_rev"] == "old"
+    assert base_k == {}
+
+
+def test_load_baseline_missing_schema_field_means_schema_one(tmp_path, capsys):
+    path = _write_history(tmp_path, [
+        {"ts": "t0", "git_rev": "pre", "sim_events_per_sec": 5e5},
+    ])
+    _base_k, base_s = gate.load_baseline(path)
+    assert base_s["git_rev"] == "pre"
+    assert "WARNING" not in capsys.readouterr().out
+
+
+def test_load_baseline_all_unreadable_exits(tmp_path):
+    path = _write_history(tmp_path, [
+        {"ts": "t0", "schema": 99}, {"ts": "t1", "schema": "weird"},
+    ])
+    with pytest.raises(SystemExit, match="no readable entries"):
+        gate.load_baseline(path)
+
+
+def test_load_baseline_empty_file_exits(tmp_path):
+    path = tmp_path / "history.jsonl"
+    path.write_text("")
+    with pytest.raises(SystemExit, match="empty"):
+        gate.load_baseline(str(path))
+
+
+def test_attribute_failure_ranks_regressed_kernel_first():
+    base_k = {"ts": "t0", "git_rev": "aaa",
+              "kernels_ns_per_op": {"apply_diff_dense": 100.0,
+                                    "create_diff_dense": 200.0}}
+    base_s = {"ts": "t0", "git_rev": "aaa", "sim_events_per_sec": 1e6}
+    best = {
+        "apply_diff_dense": {"ns_per_op": 500.0},
+        "create_diff_dense": {"ns_per_op": 205.0},
+        "sim_event_throughput": {"events_per_sec": 9.5e5},
+    }
+    text = gate.attribute_failure(best, base_k, base_s)
+    first_rank = next(ln for ln in text.splitlines()
+                      if ln.strip().startswith("#1"))
+    assert "apply_diff_dense" in first_rank
+    assert "sim_events_per_sec" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the streaming log-bucketed latency recorder."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.latency import QUANTILES, SUBBUCKETS, LatencyRecorder
+
+
+def test_empty_recorder():
+    rec = LatencyRecorder()
+    assert len(rec) == 0
+    assert rec.mean == 0.0
+    assert rec.quantile(0.5) == 0.0
+    p = rec.percentiles()
+    assert p["count"] == 0 and p["min"] == 0.0 and p["max"] == 0.0
+
+
+def test_single_observation_is_exact_at_every_quantile():
+    rec = LatencyRecorder()
+    rec.observe(3.5e-4)
+    for _, q in QUANTILES:
+        assert rec.quantile(q) == pytest.approx(3.5e-4)
+    assert rec.mean == pytest.approx(3.5e-4)
+    assert rec.min == rec.max == pytest.approx(3.5e-4)
+
+
+def test_relative_quantile_error_bound():
+    """Any quantile is within one sub-bucket width (<= 1/(2*SUBBUCKETS))."""
+    rng = random.Random(42)
+    values = sorted(rng.uniform(1e-7, 1e-1) for _ in range(5000))
+    rec = LatencyRecorder()
+    for v in values:
+        rec.observe(v)
+    bound = 1.0 / (2 * SUBBUCKETS)
+    for q in (0.5, 0.9, 0.99, 0.999):
+        exact = values[min(len(values) - 1, math.ceil(q * len(values)) - 1)]
+        est = rec.quantile(q)
+        assert est >= exact * (1 - 1e-12), "quantile estimate must be an upper bound"
+        assert est <= exact * (1 + bound) + 1e-15, (
+            f"q={q}: {est} vs exact {exact} exceeds {bound:.1%} relative error")
+
+
+def test_mean_total_are_exact():
+    rec = LatencyRecorder()
+    values = [1e-6, 2e-6, 3e-6, 10.0]
+    for v in values:
+        rec.observe(v)
+    assert rec.total == pytest.approx(sum(values))
+    assert rec.mean == pytest.approx(sum(values) / len(values))
+    assert rec.min == pytest.approx(min(values))
+    assert rec.max == pytest.approx(max(values))
+
+
+def test_zero_and_negative_clamp_to_zero_bucket():
+    rec = LatencyRecorder()
+    rec.observe(0.0)
+    rec.observe(-1.0)
+    assert rec.count == 2
+    assert rec.total == 0.0
+    assert rec.quantile(0.99) == 0.0
+    assert LatencyRecorder.bucket_upper(0) == 0.0
+
+
+def test_merge_matches_union():
+    rng = random.Random(7)
+    a, b, union = LatencyRecorder(), LatencyRecorder(), LatencyRecorder()
+    for i in range(2000):
+        v = rng.expovariate(1e4)
+        (a if i % 2 else b).observe(v)
+        union.observe(v)
+    merged = LatencyRecorder.merged([a, b])
+    assert merged.count == union.count
+    assert merged.total == pytest.approx(union.total)
+    assert merged.buckets == union.buckets
+    for q in (0.5, 0.99, 0.999):
+        assert merged.quantile(q) == pytest.approx(union.quantile(q))
+    # in-place merge returns self and accumulates
+    assert a.merge(b) is a
+    assert a.count == union.count
+
+
+def test_snapshot_roundtrip_is_json_safe():
+    rec = LatencyRecorder()
+    for v in (1e-6, 5e-4, 0.25, 0.0):
+        rec.observe(v)
+    doc = json.loads(json.dumps(rec.snapshot()))
+    back = LatencyRecorder.from_snapshot(doc)
+    assert back.count == rec.count
+    assert back.total == pytest.approx(rec.total)
+    assert back.buckets == rec.buckets
+    assert back.percentiles() == rec.percentiles()
+
+
+def test_bounded_memory():
+    """10^6 observations over 12 decades stay within a few KB of buckets."""
+    rec = LatencyRecorder()
+    rng = random.Random(3)
+    for _ in range(100_000):
+        rec.observe(10 ** rng.uniform(-9, 3))
+    # 12 decades ~= 40 octaves * 16 sub-buckets
+    assert len(rec.buckets) <= 41 * SUBBUCKETS

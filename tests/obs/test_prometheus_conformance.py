@@ -1,0 +1,104 @@
+"""Prometheus text-exposition conformance for the metrics registry.
+
+Checks the format invariants scrapers rely on -- cumulative histogram
+buckets ending in ``+Inf``, ``_sum``/``_count`` series, label value
+escaping -- and pins the exact rendering with a golden snapshot
+(``golden_exposition.txt``), so an accidental format change shows up as
+a reviewable diff.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden_exposition.txt"
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_test_events_total", 3, help_text="events seen",
+                node=0)
+    reg.counter("repro_test_events_total", 2, node=1)
+    reg.gauge("repro_test_temperature", 1.5, help_text="a gauge")
+    for v in (5e-7, 5e-6, 5e-4, 2.0):
+        reg.observe("repro_test_latency_seconds", v,
+                    help_text="a histogram", op="acquire")
+    return reg
+
+
+def _parse_samples(text: str):
+    samples = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        m = re.fullmatch(r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)", line)
+        assert m, f"malformed exposition line: {line!r}"
+        samples.append((m.group(1), m.group(2) or "", float(m.group(3))))
+    return samples
+
+
+def test_exposition_lines_are_well_formed():
+    for name, labels, _value in _parse_samples(_registry().render_prometheus()):
+        assert name.startswith("repro_")
+        if labels:
+            assert re.fullmatch(
+                r'\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)+\}', labels
+            ), f"malformed label set: {labels!r}"
+
+
+def test_histogram_invariants():
+    """Buckets are cumulative, end at +Inf == _count, and _sum is exact."""
+    samples = _parse_samples(_registry().render_prometheus())
+    buckets = [(lbl, v) for n, lbl, v in samples
+               if n == "repro_test_latency_seconds_bucket"]
+    count = next(v for n, _lbl, v in samples
+                 if n == "repro_test_latency_seconds_count")
+    total = next(v for n, _lbl, v in samples
+                 if n == "repro_test_latency_seconds_sum")
+
+    assert buckets[-1][0].endswith('le="+Inf"}'), "last bucket must be +Inf"
+    counts = [v for _lbl, v in buckets]
+    assert counts == sorted(counts), "histogram buckets must be cumulative"
+    assert counts[-1] == count == 4
+    # %g rendering keeps 6 significant digits
+    assert total == pytest.approx(5e-7 + 5e-6 + 5e-4 + 2.0, rel=1e-5)
+
+    # every observation <= a finite bound is inside that bucket
+    le_bounds = [float(lbl.rsplit('le="', 1)[1].rstrip('"}'))
+                 for lbl, _v in buckets[:-1]]
+    assert le_bounds == sorted(le_bounds)
+    assert counts[0] == 1   # only 5e-7 <= 1e-6
+    assert counts[2] == 2   # 5e-7, 5e-6 <= 1e-4
+
+
+def test_type_and_help_headers():
+    text = _registry().render_prometheus()
+    assert "# TYPE repro_test_events_total counter" in text
+    assert "# TYPE repro_test_temperature gauge" in text
+    assert "# TYPE repro_test_latency_seconds histogram" in text
+    assert "# HELP repro_test_events_total events seen" in text
+
+
+def test_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.gauge("repro_test_escape", 1.0,
+              path='C:\\runs\\"best"', note="line1\nline2")
+    text = reg.render_prometheus()
+    line = next(ln for ln in text.splitlines() if ln.startswith("repro_test_escape"))
+    assert r'path="C:\\runs\\\"best\""' in line
+    assert r'note="line1\nline2"' in line
+    assert "\n" not in line  # the newline must be escaped, not literal
+
+
+def test_golden_exposition_snapshot():
+    """Pin the exact rendering; regenerate deliberately on format changes:
+
+    PYTHONPATH=src python -c "
+    from tests.obs.test_prometheus_conformance import _registry, GOLDEN
+    GOLDEN.write_text(_registry().render_prometheus())"
+    """
+    assert GOLDEN.exists(), f"golden snapshot missing: {GOLDEN}"
+    assert _registry().render_prometheus() == GOLDEN.read_text()

@@ -1,0 +1,110 @@
+"""Tracing-off fast path: zero span/edge allocation on a full app run.
+
+PR 7 made span construction lazy: hot sites check the module-level
+``TRACING_ACTIVE`` flag (and their tracer's ``enabled``) before building
+span names or detail dicts.  This is the regression guard: with tracing
+disabled, a complete application run must never call the tracer's
+allocating entry points (``begin``/``end``/``edge_send``/``edge_recv``)
+and must leave the span/edge/event buffers empty.  ``record()`` may be
+*called* on the no-allocation path only through guarded sites, so it is
+counted too.
+"""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.dsm import DsmSystem
+from repro.harness.runner import run_application
+from repro.sim import trace as trace_mod
+from repro.sim.trace import Tracer
+
+
+class CountingTracer(Tracer):
+    """A disabled tracer that counts entry-point calls."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+        self.calls = {"record": 0, "begin": 0, "end": 0,
+                      "edge_send": 0, "edge_recv": 0}
+
+    def record(self, *a, **kw):
+        self.calls["record"] += 1
+        return super().record(*a, **kw)
+
+    def begin(self, *a, **kw):
+        self.calls["begin"] += 1
+        return super().begin(*a, **kw)
+
+    def end(self, *a, **kw):
+        self.calls["end"] += 1
+        return super().end(*a, **kw)
+
+    def edge_send(self, *a, **kw):
+        self.calls["edge_send"] += 1
+        return super().edge_send(*a, **kw)
+
+    def edge_recv(self, *a, **kw):
+        self.calls["edge_recv"] += 1
+        return super().edge_recv(*a, **kw)
+
+
+def test_enabled_setter_maintains_tracing_active(monkeypatch):
+    monkeypatch.setattr(trace_mod, "_enabled_tracers", 0)
+    monkeypatch.setattr(trace_mod, "TRACING_ACTIVE", False)
+    t = Tracer(enabled=False)
+    assert trace_mod.TRACING_ACTIVE is False
+    t.enabled = True
+    assert trace_mod.TRACING_ACTIVE is True
+    t.enabled = False
+    assert trace_mod.TRACING_ACTIVE is False
+
+
+def test_full_run_allocates_no_spans_or_edges(monkeypatch, request):
+    """A whole app run with tracing off must not touch the tracer.
+
+    Other tests construct enabled tracers without ever disabling them,
+    which leaves the module-level refcount (and thus TRACING_ACTIVE)
+    high for the rest of the session; reset both so this test sees the
+    state a fresh tracing-off process sees.
+    """
+    if request.config.getoption("--sanitize"):
+        pytest.skip("--sanitize forces tracing on; no tracing-off path")
+    monkeypatch.setattr(trace_mod, "_enabled_tracers", 0)
+    monkeypatch.setattr(trace_mod, "TRACING_ACTIVE", False)
+
+    counting = CountingTracer()
+    original_init = DsmSystem.__init__
+
+    def patched_init(self, *args, **kwargs):
+        kwargs["tracer"] = counting
+        original_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(DsmSystem, "__init__", patched_init)
+    result, system = run_application(
+        "water", "ccl", ClusterConfig.ultra5(num_nodes=4), "test")
+
+    assert system.tracer is counting
+    assert result.completed
+    # water exercises locks, barriers, faults, diffs, and log flushes --
+    # every instrumented path -- yet nothing was allocated:
+    assert len(counting.spans) == 0
+    assert len(counting.edges) == 0
+    assert len(counting.events) == 0
+    # and the span/edge entry points were never even *called*: the
+    # TRACING_ACTIVE guard short-circuits before argument construction
+    for name in ("begin", "end", "edge_send", "edge_recv", "record"):
+        assert counting.calls[name] == 0, (
+            f"tracer.{name} called {counting.calls[name]} times with "
+            "tracing disabled -- a call site lost its TRACING_ACTIVE guard")
+
+
+def test_latency_recorders_stay_on_with_tracing_off(monkeypatch):
+    """The always-on latency histograms are independent of tracing."""
+    result, _system = run_application(
+        "water", "ccl", ClusterConfig.ultra5(num_nodes=4), "test")
+    latency = result.aggregate.latency
+    for op in ("lock_acquire", "barrier", "page_fetch",
+               "lock_queue_wait", "barrier_gather"):
+        assert op in latency, f"missing always-on recorder for {op}"
+        assert latency[op].count > 0
+        assert latency[op].quantile(0.99) > 0

@@ -168,6 +168,14 @@ class ClusterConfig:
     #: Default shared address-space size (bytes); applications may
     #: request more at allocation time.
     shared_memory_bytes: int = 64 << 20
+    #: Optional fault-domain labels, one per node (``zones[i]`` is the
+    #: zone of node ``i``).  ``None`` means a single implicit zone; the
+    #: network then takes its unchanged fast path, so runs without zones
+    #: stay byte-identical to pre-zone behaviour.
+    zones: "tuple[int, ...] | None" = None
+    #: Extra one-way latency for messages that cross a zone boundary
+    #: (the per-zone WAN profile; ignored without :attr:`zones`).
+    zone_wan_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -178,6 +186,16 @@ class ClusterConfig:
             )
         if self.shared_memory_bytes % self.page_size:
             raise ConfigError("shared_memory_bytes must be page aligned")
+        if self.zones is not None:
+            if len(self.zones) != self.num_nodes:
+                raise ConfigError(
+                    f"zones needs one label per node: got {len(self.zones)} "
+                    f"labels for {self.num_nodes} nodes"
+                )
+            if any(z < 0 for z in self.zones):
+                raise ConfigError(f"zone labels must be >= 0, got {self.zones}")
+        if self.zone_wan_latency_s < 0:
+            raise ConfigError("zone_wan_latency_s must be >= 0")
 
     @classmethod
     def ultra5(cls, num_nodes: int = 8, **overrides) -> "ClusterConfig":
@@ -192,3 +210,31 @@ class ClusterConfig:
     def words_per_page(self) -> int:
         """Number of diff-granularity words in one page."""
         return self.page_size // WORD_SIZE
+
+    # -- fault domains -------------------------------------------------
+    @property
+    def num_zones(self) -> int:
+        """Number of distinct fault domains (1 without explicit zones)."""
+        return len(set(self.zones)) if self.zones is not None else 1
+
+    def zone_of(self, node: int) -> int:
+        """Fault-domain label of ``node`` (0 without explicit zones)."""
+        return self.zones[node] if self.zones is not None else 0
+
+    def nodes_in_zone(self, zone: int) -> "tuple[int, ...]":
+        """All node ranks labelled with ``zone`` (empty when unknown)."""
+        if self.zones is None:
+            return tuple(range(self.num_nodes)) if zone == 0 else ()
+        return tuple(i for i, z in enumerate(self.zones) if z == zone)
+
+    def with_zones(self, num_zones: int,
+                   wan_latency_s: float = 0.0) -> "ClusterConfig":
+        """Round-robin the nodes over ``num_zones`` fault domains."""
+        if not (1 <= num_zones <= self.num_nodes):
+            raise ConfigError(
+                f"num_zones must be in 1..{self.num_nodes}, got {num_zones}"
+            )
+        return self.with_changes(
+            zones=tuple(i % num_zones for i in range(self.num_nodes)),
+            zone_wan_latency_s=wan_latency_s,
+        )

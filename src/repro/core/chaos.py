@@ -23,6 +23,18 @@ processes die, its queued NIC frames and in-flight deliveries are
 discarded, the survivors stall, and recovery is verified from the
 killed run's own durable log.
 
+Zone-scoped faults extend the same discipline to whole fault domains:
+``zone_kill`` live-kills every node of one zone at a seeded instant and
+verifies each victim's recovery with its co-victims dead;
+``zone_partition`` isolates two zones from each other for a seeded
+window (the reliable transport must ride the outage out).  Under the
+``failover`` protocol with ``replication >= 2``, recovery goes through
+:func:`~repro.core.failover_recovery.recover_via_failover` -- a
+surviving replica is promoted and only the coherence-metadata suffix is
+replayed -- and the contract becomes *bit-exact failover or a diagnosed
+refusal when the quorum is lost*; a silent wrong-memory result is the
+only failure.
+
 Everything is derived from one integer seed, so a failing case is
 reproducible from the one-line command the report prints.
 """
@@ -36,6 +48,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..config import ClusterConfig
 from ..dsm.system import DsmSystem
 from ..errors import (
+    ConfigError,
+    DeadlockError,
     LoggingProtocolError,
     RecoveryError,
     SimulationError,
@@ -43,9 +57,11 @@ from ..errors import (
 )
 from ..sim.faults import DiskFaultPlan, FaultPlan
 from ..sim.trace import Tracer
+from .failover_recovery import compare_mirror, recover_via_failover
 from .failure import CrashProbe
 from .logging_base import make_hooks_factory
 from .recovery import compare_state, replay_failed_node
+from .replication import ZoneFaultSpec, validate_replication
 from .salvage import salvage_log
 
 __all__ = ["ChaosCase", "ChaosReport", "run_chaos_run", "run_chaos_suite"]
@@ -71,7 +87,8 @@ class ChaosCase:
     ok: bool
     detail: str = ""
     mismatches: List[str] = field(default_factory=list)
-    #: Extra CLI flags (scale, cluster size) needed to reproduce.
+    #: Extra CLI flags (scale, cluster size, zones, replication) needed
+    #: to reproduce.
     repro_extra: str = ""
     #: Salvage-scan summary for this crash instant (disk faults only).
     salvage: str = ""
@@ -138,6 +155,27 @@ def _case_rng(seed: int) -> random.Random:
     return random.Random(seed ^ 0x9E3779B9)
 
 
+def _zone_repro_flags(
+    config: ClusterConfig,
+    replication: int,
+    zone_kill: Optional[int],
+    zone_partition: Optional[Tuple[int, int]],
+) -> List[str]:
+    """Extra CLI flags reproducing the replication/zone setup."""
+    flags: List[str] = []
+    if replication > 1:
+        flags.append(f"--replication {replication}")
+    if config.zones is not None:
+        flags.append(f"--zones {config.num_zones}")
+        if config.zone_wan_latency_s > 0:
+            flags.append(f"--zone-wan {config.zone_wan_latency_s:g}")
+    if zone_kill is not None:
+        flags.append(f"--zone-kill {zone_kill}")
+    if zone_partition is not None:
+        flags.append(f"--zone-partition {zone_partition[0]},{zone_partition[1]}")
+    return flags
+
+
 def run_chaos_run(
     app_factory: Callable[[], Any],
     config: ClusterConfig,
@@ -153,6 +191,9 @@ def run_chaos_run(
     app_name: Optional[str] = None,
     repro_extra: str = "",
     tracer: Optional[Tracer] = None,
+    replication: int = 1,
+    zone_kill: Optional[int] = None,
+    zone_partition: Optional[Tuple[int, int]] = None,
 ) -> Tuple[List[ChaosCase], FaultPlan, Any]:
     """One faulted phase-A execution plus its crash-instant recoveries.
 
@@ -166,10 +207,34 @@ def run_chaos_run(
     salvage scan, and recovery must then be bit-exact over the salvaged
     log *or* fail with a diagnosed error naming the damage -- a silent
     wrong-memory result is the only failure.
+
+    ``replication`` mirrors every home onto ``k-1`` followers;
+    ``zone_kill`` live-kills a whole fault domain at a seeded instant
+    and recovers every victim with its co-victims dead;
+    ``zone_partition`` isolates two zones for a seeded window mid-run.
+    Zone faults are validated (:class:`ZoneFaultSpec`) before anything
+    executes.  The ``failover`` protocol (requires ``replication >= 2``)
+    recovers through replica promotion instead of classic replay, and a
+    diagnosed quorum-loss refusal counts as a pass.
     """
     rng = _case_rng(seed)
     rates = dict(rates or DEFAULT_RATES)
     disk_rates = {k: v for k, v in (disk_rates or {}).items() if v > 0}
+
+    validate_replication(replication, config.num_nodes)
+    spec = ZoneFaultSpec(zone_kill=zone_kill, zone_partition=zone_partition)
+    if spec.any:
+        spec.validate(config)
+    if protocol == "failover" and replication < 2:
+        raise ConfigError(
+            "the failover protocol promotes a surviving replica, so it "
+            f"needs replication >= 2 (got {replication}); pass "
+            "--replication 2 or higher"
+        )
+    repro_extra = " ".join(
+        ([repro_extra] if repro_extra else [])
+        + _zone_repro_flags(config, replication, zone_kill, zone_partition)
+    )
 
     def _disk_plan() -> Optional[DiskFaultPlan]:
         # fresh per execution: write-error draws are event-ordered
@@ -187,9 +252,17 @@ def run_chaos_run(
     app = app_factory()
     if app_name is None:
         app_name = str(getattr(app, "name", type(app).__name__)).lower()
-    victim = (
-        crash_node if crash_node is not None else rng.randrange(config.num_nodes)
-    )
+    if zone_kill is not None:
+        victims = list(config.nodes_in_zone(zone_kill))
+        victim = victims[0]
+    else:
+        victim = (
+            crash_node
+            if crash_node is not None
+            else rng.randrange(config.num_nodes)
+        )
+        victims = [victim]
+    lethal = live_kill or zone_kill is not None
 
     def build(plan: FaultPlan, tracer: Optional[Tracer] = None) -> DsmSystem:
         return DsmSystem(
@@ -199,21 +272,33 @@ def run_chaos_run(
             tracer=tracer,
             fault_plan=plan,
             disk_fault_plan=_disk_plan(),
+            replication=replication,
         )
 
-    def diagnosed(t: float, stop_at: int, exc: Exception,
+    def diagnosed(node: int, t: float, stop_at: int, exc: Exception,
                   salvage: str = "") -> ChaosCase:
-        # fail-fast with a named cause is a *pass* under disk faults:
-        # the contract is bit-exact or loudly refused, never silent
+        # fail-fast with a named cause is a *pass* under disk faults and
+        # under failover quorum loss: the contract is bit-exact or
+        # loudly refused, never silent
         return ChaosCase(
-            app_name, protocol, seed, victim, t, stop_at,
+            app_name, protocol, seed, node, t, stop_at,
             live_kill, True, f"diagnosed: {exc}", repro_extra=repro_extra,
             salvage=salvage,
         )
 
-    # ---- pilot duration: a kill time must be sampled inside the run --
+    def fail(node: int, t: float, stop_at: int, detail: str,
+             mismatches=None, salvage: str = "") -> ChaosCase:
+        return ChaosCase(
+            app_name, protocol, seed, node, t, stop_at,
+            live_kill, False, detail, list(mismatches or []),
+            repro_extra=repro_extra, salvage=salvage,
+        )
+
+    # ---- pilot duration: kill times and partition windows must be ----
+    # ---- sampled inside the run --------------------------------------
     kill_time: Optional[float] = None
-    if live_kill:
+    part_window: Optional[Tuple[float, float]] = None
+    if lethal or zone_partition is not None:
         pilot_plan = FaultPlan.uniform(seed, **rates)
         try:
             pilot = build(pilot_plan).run()
@@ -221,53 +306,72 @@ def run_chaos_run(
             cause = _diagnosable(exc)
             if not disk_rates or cause is None:
                 raise
-            return [diagnosed(0.0, 0, cause)], pilot_plan, None
-        kill_time = rng.uniform(0.15, 0.85) * pilot.total_time
-        if crash_times:
-            kill_time = crash_times[0]
+            return [diagnosed(victim, 0.0, 0, cause)], pilot_plan, None
+        if lethal:
+            kill_time = rng.uniform(0.15, 0.85) * pilot.total_time
+            if crash_times:
+                kill_time = crash_times[0]
+        if zone_partition is not None:
+            # a window the bounded-retransmit transport can ride out:
+            # it heals well before the run would abandon live peers
+            start = rng.uniform(0.2, 0.5) * pilot.total_time
+            width = rng.uniform(0.05, 0.15) * pilot.total_time
+            part_window = (start, start + width)
 
     plan = FaultPlan.uniform(seed, **rates)
     disk_plan = _disk_plan()
     if kill_time is not None:
-        plan.kill(victim, kill_time)
+        if zone_kill is not None:
+            plan.kill_zone(victims, kill_time)
+        else:
+            plan.kill(victim, kill_time)
+    if part_window is not None:
+        za, zb = zone_partition
+        plan.partition(
+            config.nodes_in_zone(za), config.nodes_in_zone(zb),
+            part_window[0], part_window[1],
+        )
     if tracer is None and sanitize:
         tracer = Tracer(enabled=True)
     system_a = DsmSystem(
         app, config, make_hooks_factory(protocol), tracer=tracer,
-        fault_plan=plan, disk_fault_plan=disk_plan,
+        fault_plan=plan, disk_fault_plan=disk_plan, replication=replication,
     )
-    probe = CrashProbe(victim, capture_all=True)
-    system_a.add_probe(probe)
+    probes = {v: CrashProbe(v, capture_all=True) for v in victims}
+    for p in probes.values():
+        system_a.add_probe(p)
     try:
         result_a = system_a.run()
     except (StorageFaultError, SimulationError) as exc:
         cause = _diagnosable(exc)
-        if disk_plan is None or cause is None:
-            raise
-        return [diagnosed(0.0, 0, cause)], plan, system_a.transport
+        if cause is not None and disk_plan is not None:
+            return [diagnosed(victim, 0.0, 0, cause)], plan, system_a.transport
+        if zone_partition is not None and isinstance(exc, DeadlockError):
+            # the partition window outlived the transport's patience; a
+            # stall is loud (liveness, not corruption) but still a
+            # reportable failure of the ride-it-out contract
+            return (
+                [fail(victim, part_window[0] if part_window else 0.0, 0,
+                      f"zone partition stalled the run: {exc}")],
+                plan, system_a.transport,
+            )
+        raise
 
     cases: List[ChaosCase] = []
 
-    def fail(t: float, stop_at: int, detail: str, mismatches=None) -> ChaosCase:
-        return ChaosCase(
-            app_name, protocol, seed, victim, t, stop_at,
-            live_kill, False, detail, list(mismatches or []),
-            repro_extra=repro_extra,
-        )
-
     # the application result itself proves reliable delivery: faults
     # must not change what the program computes.  A live-killed run may
-    # still complete when the kill lands after the victim's last
-    # contribution (survivors no longer need it) -- then the results
+    # still complete when the kill lands after the victims' last
+    # contribution (survivors no longer need them) -- then the results
     # must be correct; otherwise the survivors must have stalled.
     if result_a.completed:
         verify = getattr(app, "verify", None)
         if verify is not None and not verify(system_a):
-            cases.append(fail(kill_time or 0.0, 0,
+            cases.append(fail(victim, kill_time or 0.0, 0,
                               "faulted run computed wrong results"))
             return cases, plan, system_a.transport
-    elif not live_kill:
-        cases.append(fail(0.0, 0, "faulted run did not complete"))
+    elif not lethal:
+        cases.append(fail(victim, 0.0, 0, "faulted run did not complete"))
         return cases, plan, system_a.transport
 
     if sanitize and tracer is not None:
@@ -276,69 +380,128 @@ def run_chaos_run(
         report = check_trace(tracer)
         if not report.ok:
             cases.append(
-                fail(0.0, 0, f"sanitizer: {report.violations[0]}")
+                fail(victim, 0.0, 0, f"sanitizer: {report.violations[0]}")
             )
             return cases, plan, system_a.transport
 
-    # ---- sample crash instants and verify recovery at each -----------
-    log = getattr(system_a.nodes[victim].hooks, "log")
-    horizon = kill_time if kill_time is not None else result_a.total_time
-    if crash_times:
-        instants = list(crash_times)
-    elif live_kill:
-        instants = [kill_time or 0.0]
-    else:
-        instants = sorted(rng.uniform(0.0, horizon) for _ in range(crash_points))
+    home_pages = {
+        v: [p for p, h in enumerate(system_a.homes) if h == v]
+        for v in victims
+    }
 
-    for t in instants:
-        seals_done = sum(1 for s in probe.snapshots.values() if s.time <= t)
-        view = log.durable_view(t)
-        salvage_report = None
-        if disk_plan is not None and disk_plan.active:
-            view, salvage_report = salvage_log(view)
-            # salvage keeps a prefix of the full persistent sequence, so
-            # the first unreplayable interval comes straight off its count
-            lost = log.first_lost_from(salvage_report.salvaged_count)
-        else:
-            lost = log.first_lost_interval(t)
-        salv = salvage_report.describe() if salvage_report is not None else ""
-        stop_at = seals_done if lost is None else min(seals_done, lost)
-        if stop_at < 1:
-            # nothing recoverable was sealed: recovery degenerates to a
-            # restart from the initial checkpoint, trivially bit-exact
-            cases.append(
-                ChaosCase(app_name, protocol, seed, victim, t, 0,
-                          live_kill, True, "restart-from-checkpoint",
-                          repro_extra=repro_extra, salvage=salv)
-            )
-            continue
+    def failover_case(v: int, t: float, view, stop_at: int,
+                      salv: str) -> ChaosCase:
+        """Recover one victim by replica promotion and verify the mirror.
+
+        The chaos driver probes many counterfactual crash instants of
+        one phase-A run, so the (shared, mutable) group fencing state is
+        restored after each probe -- a real failover would of course
+        leave the promotion in place.
+        """
+        grp = system_a.replica_groups[v]
+        saved = (grp.promoted, grp.epoch)
         try:
-            replay, _rt = replay_failed_node(
-                app, config, protocol, system_a, victim,
-                view, stop_at, salvage=salvage_report,
+            promoted, _epoch, mirror, breakdown, _stats, _rp, _rf = (
+                recover_via_failover(
+                    config, system_a, v, view, stop_at,
+                    dead=victims, at_time=t,
+                )
             )
         except (RecoveryError, LoggingProtocolError, SimulationError) as exc:
             cause = _diagnosable(exc)
             if cause is None:
                 raise
-            if disk_plan is not None and disk_plan.active:
-                cases.append(diagnosed(t, stop_at, cause, salvage=salv))
-            else:
-                cases.append(fail(t, stop_at, f"replay error: {cause}"))
-            continue
-        mismatches = compare_state(
-            replay, probe.snapshots[stop_at], config.page_size
+            return diagnosed(v, t, stop_at, cause, salvage=salv)
+        finally:
+            grp.promoted, grp.epoch = saved
+        mismatches = compare_mirror(
+            mirror, probes[v].snapshots[mirror.seal],
+            home_pages[v], config.page_size,
         )
-        cases.append(
-            ChaosCase(
-                app_name, protocol, seed, victim, t, stop_at,
-                live_kill, not mismatches,
-                "" if not mismatches else "state mismatch",
-                mismatches,
-                repro_extra=repro_extra,
-                salvage=salv,
+        if "page_replay" in breakdown:
+            # the scheme's whole point: page contents come from the
+            # promoted replica, never from log replay
+            mismatches.append("failover breakdown contains page_replay")
+        return ChaosCase(
+            app_name, protocol, seed, v, t, stop_at, live_kill,
+            not mismatches,
+            "" if not mismatches else f"mirror mismatch (promoted {promoted})",
+            mismatches, repro_extra=repro_extra, salvage=salv,
+        )
+
+    # ---- sample crash instants and verify recovery at each -----------
+    horizon = kill_time if kill_time is not None else result_a.total_time
+    if crash_times:
+        instants = list(crash_times)
+    elif lethal:
+        instants = [kill_time or 0.0]
+    else:
+        instants = sorted(rng.uniform(0.0, horizon) for _ in range(crash_points))
+
+    for t in instants:
+        for v in victims:
+            probe = probes[v]
+            log = getattr(system_a.nodes[v].hooks, "log")
+            seals_done = sum(
+                1 for s in probe.snapshots.values() if s.time <= t
             )
-        )
+            view = log.durable_view(t)
+            salvage_report = None
+            if disk_plan is not None and disk_plan.active:
+                view, salvage_report = salvage_log(view)
+                # salvage keeps a prefix of the full persistent
+                # sequence, so the first unreplayable interval comes
+                # straight off its count
+                lost = log.first_lost_from(salvage_report.salvaged_count)
+            else:
+                lost = log.first_lost_interval(t)
+            salv = (
+                salvage_report.describe() if salvage_report is not None else ""
+            )
+            stop_at = seals_done if lost is None else min(seals_done, lost)
+            if stop_at < 1:
+                # nothing recoverable was sealed: recovery degenerates
+                # to a restart from the initial checkpoint, trivially
+                # bit-exact
+                cases.append(
+                    ChaosCase(app_name, protocol, seed, v, t, 0,
+                              live_kill, True, "restart-from-checkpoint",
+                              repro_extra=repro_extra, salvage=salv)
+                )
+                continue
+            if protocol == "failover":
+                cases.append(failover_case(v, t, view, stop_at, salv))
+                continue
+            try:
+                replay, _rt = replay_failed_node(
+                    app, config, protocol, system_a, v,
+                    view, stop_at, salvage=salvage_report, dead=victims,
+                )
+            except (RecoveryError, LoggingProtocolError,
+                    SimulationError) as exc:
+                cause = _diagnosable(exc)
+                if cause is None:
+                    raise
+                if disk_plan is not None and disk_plan.active:
+                    cases.append(diagnosed(v, t, stop_at, cause, salvage=salv))
+                else:
+                    cases.append(
+                        fail(v, t, stop_at, f"replay error: {cause}")
+                    )
+                continue
+            mismatches = compare_state(
+                replay, probe.snapshots[stop_at], config.page_size
+            )
+            cases.append(
+                ChaosCase(
+                    app_name, protocol, seed, v, t, stop_at,
+                    live_kill, not mismatches,
+                    "" if not mismatches else "state mismatch",
+                    mismatches,
+                    repro_extra=repro_extra,
+                    salvage=salv,
+                )
+            )
     return cases, plan, system_a.transport
 
 
@@ -355,20 +518,31 @@ def run_chaos_suite(
     sanitize: bool = False,
     fail_fast: bool = False,
     repro_extra: str = "",
+    replication: int = 1,
+    zone_kill: Optional[int] = None,
+    zone_partition: Optional[Tuple[int, int]] = None,
 ) -> ChaosReport:
     """The full property suite: apps x protocols x seeds x crash instants.
 
     Every ``kill_every``-th seed of each (app, protocol) pair becomes a
     live-kill case (victim processes die mid-run, in-flight frames
     discarded); the rest are probe-based and amortise ``crash_points``
-    crash instants over one faulted execution.
+    crash instants over one faulted execution.  ``zone_kill`` makes
+    *every* seed a zone-kill case (the whole fault domain dies at a
+    seeded instant; the per-seed live-kill cadence is subsumed);
+    ``zone_partition`` adds a seeded two-zone partition window to each
+    run.  ``replication`` runs every case over quorum-replicated homes.
     """
     report = ChaosReport()
     for app_name, factory in sorted(app_factories.items()):
         for protocol in protocols:
             for i in range(seeds):
                 seed = first_seed + i
-                live = kill_every > 0 and i % kill_every == kill_every - 1
+                live = (
+                    kill_every > 0
+                    and i % kill_every == kill_every - 1
+                    and zone_kill is None
+                )
                 cases, plan, transport = run_chaos_run(
                     factory, config, protocol, seed,
                     crash_points=crash_points,
@@ -378,6 +552,9 @@ def run_chaos_suite(
                     sanitize=sanitize,
                     app_name=app_name,
                     repro_extra=repro_extra,
+                    replication=replication,
+                    zone_kill=zone_kill,
+                    zone_partition=zone_partition,
                 )
                 report.cases.extend(cases)
                 report.merge_totals(plan, transport)

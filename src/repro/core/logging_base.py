@@ -25,11 +25,12 @@ __all__ = [
 ]
 
 #: The three protocols of the evaluation (paper Section 4) plus the
-#: adaptive hybrid that switches between ML and CCL per interval.
-PROTOCOL_NAMES = ("none", "ml", "ccl", "adaptive")
+#: adaptive hybrid that switches between ML and CCL per interval and
+#: the failover scheme (CCL logging under quorum-replicated homes).
+PROTOCOL_NAMES = ("none", "ml", "ccl", "adaptive", "failover")
 
 #: The subset whose logs a crashed node can be replayed from.
-RECOVERY_PROTOCOL_NAMES = ("ml", "ccl", "adaptive")
+RECOVERY_PROTOCOL_NAMES = ("ml", "ccl", "adaptive", "failover")
 
 
 def make_hooks(
@@ -60,6 +61,10 @@ def make_hooks(
         from .adaptive import AdaptiveLogging
 
         return AdaptiveLogging(recovery_budget=recovery_budget)
+    if name == "failover":
+        from .replication import FailoverLogging
+
+        return FailoverLogging()
     raise ConfigError(f"unknown logging protocol {name!r}; know {PROTOCOL_NAMES}")
 
 

@@ -83,10 +83,23 @@ def replay_node_class(protocol: str):
     from .ccl_recovery import CclReplayNode
     from .ml_recovery import MlReplayNode
 
+    class FailoverReplayNode(CclReplayNode):
+        """Classic replay over a ``failover``-protocol log.
+
+        The failover scheme's log format is CCL's (plus content-free
+        home-write records, which apply as no-ops), so when failover
+        itself is impossible -- quorum lost, or no replication -- the
+        victim can still be replayed the classic way from its durable
+        log.  A distinct class keeps protocol names honest in results.
+        """
+
+        protocol = "failover"
+
     classes = {
         "ml": MlReplayNode,
         "ccl": CclReplayNode,
         "adaptive": AdaptiveReplayNode,
+        "failover": FailoverReplayNode,
     }
     if protocol not in classes:
         raise RecoveryError(
@@ -493,6 +506,7 @@ def replay_failed_node(
     free_until: int = 0,
     checkpoint: Optional[CheckpointSnapshot] = None,
     salvage=None,
+    dead: Tuple[int, ...] = (),
 ) -> Tuple[ReplayNode, float]:
     """Phase B: replay one victim in a fresh simulation, to ``stop_at`` seals.
 
@@ -503,22 +517,67 @@ def replay_failed_node(
     :class:`~repro.core.salvage.SalvageReport` is supplied, the bytes
     its CRC walk read are charged to the replay as a sequential scan
     before any interval is processed -- salvage is part of recovery
-    time.  Returns the replay node (for state verification) and the
-    replay's virtual duration.
+    time.  ``dead`` lists nodes down alongside the victim (a zone
+    kill): they answer from their logs via
+    :class:`~repro.core.responder.FailedNodeResponder` instead of live
+    state, with the multi-recovery simplification that co-victims serve
+    peers from their full phase-A logs.  Returns the replay node (for
+    state verification) and the replay's virtual duration.
     """
     if stop_at < 1:
         raise RecoveryError(f"replay needs at least one seal, got {stop_at}")
+    # recovery assumes static homes: the responders and the replay node
+    # are both built from the construction-time home map.  If homes
+    # migrated during phase A (hlrc-migrate), page ownership in the live
+    # pagetables has drifted and replay would misdirect reconstruction
+    # requests -- diagnose that here instead of surfacing a KeyError
+    # deep inside a responder.
+    live_homes = [
+        system_a.nodes[0].pagetable.entry(p).home
+        for p in range(system_a.space.npages)
+    ]
+    if live_homes != list(system_a.homes):
+        moved = [
+            p
+            for p, (a, b) in enumerate(zip(system_a.homes, live_homes))
+            if a != b
+        ]
+        involving = [
+            p
+            for p in moved
+            if live_homes[p] == failed_node or system_a.homes[p] == failed_node
+        ]
+        raise RecoveryError(
+            f"home map drifted during the run: {len(moved)} page(s) "
+            f"migrated (e.g. {moved[:6]}), {len(involving)} involving the "
+            f"failed node {failed_node}; the paper's recovery protocol "
+            "assumes static homes, so replay after home migration is "
+            "refused rather than silently misdirected"
+        )
     sim_b = Simulator()
     net_b = Network(sim_b, config.network, config.num_nodes)
     disks_b = [
         Disk(sim_b, config.disk, f"rdisk{i}") for i in range(config.num_nodes)
     ]
     ckpt_image = LocalMemory(system_a.space)
-    responders = {
-        node.id: SurvivorResponder(node, ckpt_image)
-        for node in system_a.nodes
-        if node.id != failed_node
-    }
+    dead_peers = set(dead) - {failed_node}
+    responders: Dict[int, SurvivorResponder] = {}
+    for node in system_a.nodes:
+        if node.id == failed_node:
+            continue
+        if node.id in dead_peers:
+            peer_log = getattr(node.hooks, "log", None)
+            if peer_log is None:
+                raise RecoveryError(
+                    f"co-victim {node.id} crashed alongside node "
+                    f"{failed_node} but keeps no log to answer replay "
+                    "requests from"
+                )
+            responders[node.id] = FailedNodeResponder(
+                node, ckpt_image, peer_log
+            )
+        else:
+            responders[node.id] = SurvivorResponder(node, ckpt_image)
 
     node_cls = replay_node_class(protocol)
     replay = node_cls(

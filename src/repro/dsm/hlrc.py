@@ -53,6 +53,8 @@ from .messages import (
     LockRequest,
     PageRequest,
     PageReply,
+    ReplicaAck,
+    ReplicaUpdate,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,6 +85,8 @@ class HlrcNode:
             "diff_ack",
             "lock_grant",
             "barrier_release",
+            "replica_update",
+            "replica_ack",
         }
     )
 
@@ -154,6 +158,10 @@ class HlrcNode:
         self.probes: List[ProbeFn] = []
         #: Optional periodic checkpointer (set by the harness).
         self.checkpointer: Optional[Any] = None
+        #: Home-replication endpoint (set by the system when the run is
+        #: configured with ``replication >= 2``; None keeps every code
+        #: path byte-identical to the unreplicated protocol).
+        self.replicator: Optional[Any] = None
         #: In-flight overlapped log flush (double-buffered logger).
         self._pending_flush: Optional[Signal] = None
 
@@ -304,6 +312,10 @@ class HlrcNode:
             self._deliver_expected(kind, msg.payload.lock_id, msg)
         elif kind == "barrier_release":
             self._deliver_expected(kind, msg.payload.barrier_id, msg)
+        elif kind == "replica_update":
+            yield from self._apply_replica_update(msg.payload)
+        elif kind == "replica_ack":
+            self._on_replica_ack(msg.payload)
         else:
             raise ProtocolError(f"node {self.id}: unknown message kind {kind!r}")
 
@@ -385,8 +397,45 @@ class HlrcNode:
                 },
             )
         self.hooks.notify_update_received(batch)
+        if self.replicator is not None:
+            self.replicator.record_update(batch)
         self._post(batch.writer, "diff_ack",
                    DiffAck(batch.writer, batch.interval_index, self.id))
+
+    def _apply_replica_update(self, upd: ReplicaUpdate) -> Generator[Any, Any, None]:
+        """Follower side of home replication: mirror one sealed delta.
+
+        Applies the primary's accumulated home updates to the local
+        mirror frames and acknowledges -- or rejects the whole update
+        when epoch fencing says the sender is a deposed primary."""
+        rep = self.replicator
+        if rep is None:
+            raise ProtocolError(
+                f"node {self.id} received a replica_update without a replicator"
+            )
+        nbytes = sum(
+            d.word_count for _w, _i, _p, _vt, diffs in upd.entries for d in diffs
+        ) * 4
+        yield self.cfg.cpu.diff_apply_per_byte_s * nbytes
+        accepted = rep.apply_update(upd, self.sim.now)
+        self.stats.count("mirrors_applied" if accepted else "mirrors_fenced")
+        if self._tracing:
+            self._trace(
+                "replica_update",
+                {"primary": upd.primary, "epoch": upd.epoch,
+                 "seal": upd.seal, "upto": upd.upto, "accepted": accepted},
+            )
+        self._post(upd.primary, "replica_ack",
+                   ReplicaAck(upd.primary, self.id, upd.epoch, upd.seal, accepted))
+
+    def _on_replica_ack(self, ack: ReplicaAck) -> None:
+        """Primary side: one follower's mirror copy landed (or was fenced)."""
+        rep = self.replicator
+        if rep is None:
+            raise ProtocolError(
+                f"node {self.id} received a replica_ack without a replicator"
+            )
+        rep.on_ack(ack, self.sim.now)
 
     # ------------------------------------------------------------------
     # lock management (manager side)
@@ -509,6 +558,12 @@ class HlrcNode:
             self._span_end(fsid)
         yield from self._end_interval()
         self._fire_probes()
+        # ship the sealed home-state delta to this home's replica group;
+        # the entries are captured synchronously at the probe instant, so
+        # the mirror a follower holds for seal s is bit-identical to the
+        # home state the seal-s failure probe snapshots
+        if self.replicator is not None:
+            yield from self.replicator.seal_mirror(self)
         if self._tracing:
             self._trace(
                 Ev.LOCK_RELEASED,
@@ -539,6 +594,9 @@ class HlrcNode:
             self._span_end(fsid)
         yield from self._end_interval()
         self._fire_probes()
+        # see release(): mirror capture is synchronous with the probe
+        if self.replicator is not None:
+            yield from self.replicator.seal_mirror(self)
         ep = self.barrier_episode
         if self._tracing:
             self._trace(
@@ -745,11 +803,14 @@ class HlrcNode:
                         scan_cost += cpu.diff_scan_per_byte_s * self.cfg.page_size
                         d = create_diff(p, entry.twin, self.memory.page_bytes(p))
                         self.pagetable.drop_twin(p)
-                        if not d.is_empty:
-                            home_diffs.append(d)
+                        if not d.is_empty or self.hooks.log_empty_home_diffs:
                             # record the self-update only when a logged
                             # diff backs it, so reconstruction histories
-                            # never reference content-free writes
+                            # never reference content-free writes --
+                            # unless the protocol logs empty home diffs
+                            # precisely so every version merge on a home
+                            # page is log- and mirror-backed (failover)
+                            home_diffs.append(d)
                             self.home_events[p].append(
                                 (self.id, vt_index, 0, new_vt)
                             )
@@ -794,6 +855,13 @@ class HlrcNode:
             home_diffs,
             record,
         )
+
+        # the replication layer mirrors the home-side delta of this
+        # interval: the node's own committed home writes join the queue
+        # here, in the same order CCL logs them
+        if self.replicator is not None and home_diffs:
+            assert record is not None and new_vt is not None
+            self.replicator.record_home_writes(home_diffs, record.index, new_vt)
 
         # flush diffs to the homes of the written pages
         ack_sigs: List[Signal] = []

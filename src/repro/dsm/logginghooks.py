@@ -48,6 +48,10 @@ class LoggingHooks:
     #: diffs at interval end (needed by CCL so surviving homes can serve
     #: their own modifications during a peer's recovery).
     wants_home_diffs = False
+    #: Keep *empty* home-write diffs in the logged/mirrored interval
+    #: (failover replication: every version merge on a home page must be
+    #: backed by a logged entry, even a content-free one).
+    log_empty_home_diffs = False
 
     def bind(self, node: "HlrcNode") -> None:
         """Attach to the node whose events this instance will observe."""

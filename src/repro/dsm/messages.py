@@ -34,6 +34,10 @@ __all__ = [
     "ReconRequest",
     "ReconPage",
     "ReconReply",
+    "ReplicaUpdate",
+    "ReplicaAck",
+    "PromoteRequest",
+    "PromoteAck",
     "records_nbytes",
 ]
 
@@ -323,3 +327,86 @@ class ReconReply:
     @property
     def nbytes(self) -> int:
         return MSG_FIXED_BYTES + sum(item.nbytes for item in self.items)
+
+
+# ----------------------------------------------------------------------
+# home-replication messages (quorum-mirrored homes, failover recovery)
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ReplicaUpdate:
+    """Primary-to-follower mirror of one sealed interval's home updates.
+
+    Sent by a replicated home at each interval seal, piggybacking on the
+    seal's flush traffic.  ``entries`` replays, in home-apply order, the
+    ``(writer, interval_index, part, vt, diffs)`` updates the primary
+    applied to its home pages since the previous mirror; ``upto`` is the
+    primary's running apply-event count after these entries, which a
+    promoted follower can recount from the primary's durable log to
+    resume metadata replay exactly where the mirror left off.  ``epoch``
+    fences stale primaries: a follower that has acknowledged a promotion
+    at a higher epoch rejects the update.
+    """
+
+    primary: int
+    epoch: int
+    #: Primary's seal count at capture (state version of this mirror).
+    seal: int
+    #: Primary's apply-event count after these entries.
+    upto: int
+    entries: List[Tuple[int, int, int, VectorClock, List[Diff]]]
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES + sum(
+            12 + vt.nbytes + sum(d.nbytes for d in diffs)
+            for _w, _i, _p, vt, diffs in self.entries
+        )
+
+
+@dataclass(slots=True)
+class ReplicaAck:
+    """Follower's acknowledgement (or epoch-fenced rejection) of a mirror."""
+
+    primary: int
+    follower: int
+    epoch: int
+    seal: int
+    accepted: bool = True
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES
+
+
+@dataclass(slots=True)
+class PromoteRequest:
+    """Failover fencing round: ``candidate`` claims ``primary``'s group.
+
+    Broadcast to every survivor during recovery; an acked promotion
+    advances the group epoch everywhere, so any in-flight mirror the
+    stale primary still had queued is rejected on arrival.
+    """
+
+    primary: int
+    candidate: int
+    epoch: int
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES
+
+
+@dataclass(slots=True)
+class PromoteAck:
+    """Survivor's acknowledgement of a promotion claim."""
+
+    primary: int
+    follower: int
+    epoch: int
+    accepted: bool = True
+
+    @property
+    def nbytes(self) -> int:
+        return MSG_FIXED_BYTES

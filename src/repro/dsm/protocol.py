@@ -123,11 +123,23 @@ _SPECS = (
         "rel_ack", "RelAck",
         consumers=("_on_deliver",),
     ),
+    # -- home replication (quorum-mirrored homes) ------------------------
+    MessageSpec(
+        "replica_update", "ReplicaUpdate",
+        consumers=("_apply_replica_update",),
+    ),
+    MessageSpec(
+        "replica_ack", "ReplicaAck",
+        consumers=("_on_replica_ack",),
+    ),
     # -- recovery traffic (phase B, consumed in core/) -------------------
     MessageSpec("recon_req", "ReconRequest", external=True),
     MessageSpec("recon_reply", "ReconReply", external=True),
     MessageSpec("logdiff_req", "LogDiffRequest", external=True),
     MessageSpec("logdiff_reply", "LogDiffReply", external=True),
+    # -- failover fencing (phase B, consumed in core/) -------------------
+    MessageSpec("promote_req", "PromoteRequest", external=True),
+    MessageSpec("promote_ack", "PromoteAck", external=True),
 )
 
 #: kind -> spec, the machine-readable protocol contract.

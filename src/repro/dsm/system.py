@@ -54,6 +54,14 @@ class RunResult:
     nodes: List[HlrcNode] = field(default_factory=list, repr=False)
     #: Per-disk summaries (op latency histograms, byte/op counters).
     disk_stats: List[Dict[str, Any]] = field(default_factory=list, repr=False)
+    #: Home-replication factor the run was configured with (1 = off).
+    replication: int = 1
+    #: Per-node replicator summaries (empty when replication is off).
+    replication_stats: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fault-domain labels, one per node (None when zones are unset).
+    zones: Optional[Any] = None
+    #: Nodes killed live during the run (fault plan + explicit kill).
+    dead_nodes: List[int] = field(default_factory=list)
 
     # -- stable-storage metrics (checkpoint-driven truncation) ----------
     @property
@@ -102,9 +110,15 @@ class DsmSystem:
         coherence: str = "hlrc",
         fault_plan: Optional[FaultPlan] = None,
         disk_fault_plan: Optional["DiskFaultPlan"] = None,
+        replication: int = 1,
     ):
         if coherence not in ("hlrc", "lrc", "hlrc-migrate"):
             raise ConfigError(f"unknown coherence protocol {coherence!r}")
+        if replication >= 2 and coherence != "hlrc":
+            raise ConfigError(
+                "home replication requires the hlrc coherence protocol "
+                f"(homes must be fixed; got {coherence!r})"
+            )
         self.coherence = coherence
         self.app = app
         self.config = config or ClusterConfig.ultra5()
@@ -119,6 +133,8 @@ class DsmSystem:
         self.network = Network(
             self.sim, self.config.network, self.config.num_nodes,
             fault_plan=fault_plan,
+            zones=list(self.config.zones) if self.config.zones is not None else None,
+            wan_latency_s=self.config.zone_wan_latency_s,
         )
         self.network.tracer = self.tracer
         # An active plan interposes the reliable transport between the
@@ -175,6 +191,29 @@ class DsmSystem:
             for i in range(self.config.num_nodes)
         ]
         self._protocol_name = protocol_name or self.nodes[0].hooks.name
+
+        # quorum-replicated homes: plan the replica groups and seed every
+        # follower's mirror from the pristine initial image (all node
+        # memories are identical until the first simulated event)
+        self.replication = replication
+        self.replica_groups: Dict[int, Any] = {}
+        if replication >= 2:
+            from ..core.replication import Replicator, plan_groups
+
+            n = self.config.num_nodes
+            self.replica_groups = plan_groups(n, replication, self.config.zones)
+            pages_of: Dict[int, List[int]] = {i: [] for i in range(n)}
+            for page, home in enumerate(self.homes):
+                pages_of[home].append(page)
+            for node in self.nodes:
+                rep = Replicator(self.replica_groups[node.id])
+                rep.bind(node)
+                node.replicator = rep
+            for primary, group in self.replica_groups.items():
+                for f in group.followers:
+                    self.nodes[f].replicator.init_follower(
+                        primary, pages_of[primary], self.nodes[f].memory, n
+                    )
 
     # ------------------------------------------------------------------
     def add_probe(self, probe: ProbeFn) -> None:
@@ -266,6 +305,14 @@ class DsmSystem:
             config=self.config,
             nodes=self.nodes,
             disk_stats=[d.summary() for d in self.disks],
+            replication=self.replication,
+            replication_stats=[
+                n.replicator.summary()
+                for n in self.nodes
+                if getattr(n, "replicator", None) is not None
+            ],
+            zones=self.config.zones,
+            dead_nodes=sorted(kills),
         )
 
     def _main(self, node: HlrcNode) -> Generator[Any, Any, None]:

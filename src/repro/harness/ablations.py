@@ -7,17 +7,24 @@ out across processes.  Every measurement function is module-level (the
 process-pool pickling rule of :func:`repro.harness.sweep.sweep`), and
 each variant is an independent deterministic simulation, so parallel
 output is byte-identical to serial output.
+
+Finished sweeps are appended to ``benchmark_results/history.jsonl``
+(one compact entry per run, alongside the perf trajectory), so ablation
+numbers survive the runner and regressions show up as diffs in review.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from typing import Any, Dict, List, Tuple
 
 from ..config import ClusterConfig, DiskConfig
 from .runner import logging_comparison
 from .sweep import SweepPoint, render_sweep, sweep
 
-__all__ = ["ABLATIONS", "run_ablation"]
+__all__ = ["ABLATIONS", "run_ablation", "append_ablation_history"]
 
 
 def _disk_variants(config: ClusterConfig) -> List[Tuple[str, Dict[str, Any]]]:
@@ -179,6 +186,81 @@ def _measure_adaptive(label: str, params: Dict[str, Any]) -> Dict[str, float]:
     }
 
 
+def _replication_variants(
+    config: ClusterConfig,
+) -> List[Tuple[str, Dict[str, Any]]]:
+    from ..apps import PAPER_APPS
+
+    return [
+        (app, {"config": config, "scale": "test", "app": app})
+        for app in PAPER_APPS
+    ]
+
+
+def _measure_replication(label: str, params: Dict[str, Any]) -> Dict[str, float]:
+    """Quorum replication: failure-free overhead and recovery time vs k.
+
+    One app per row.  Failure-free runs use the failover logging
+    protocol at replication 1 (no mirror traffic: byte-identical to an
+    unreplicated run), 2, and 3; overheads are normalised to k=1.
+    Recovery at k=1 is classic log replay (no replica to promote);
+    k>=2 is replay-free failover -- detection, promotion fencing, and a
+    metadata-suffix catch-up, never page-content replay.
+    """
+    from ..apps import make_app
+    from ..core.failover_recovery import run_failover_experiment
+    from ..core.recovery import run_recovery_experiment
+    from .runner import run_application
+    from .scales import app_kwargs
+
+    config, scale, app = params["config"], params["scale"], params["app"]
+    kwargs = app_kwargs(app, scale)
+
+    times: Dict[int, float] = {}
+    stall: Dict[int, float] = {}
+    for k in (1, 2, 3):
+        result, _sys = run_application(
+            app, "failover", config, scale, verify=False, replication=k,
+        )
+        times[k] = result.total_time
+        stall[k] = sum(
+            s.get("quorum_stall_s", 0.0)
+            for s in (result.replication_stats or [])
+        )
+
+    replay = run_recovery_experiment(
+        make_app(app, **kwargs), config, "failover", failed_node=3,
+    )
+    if not replay.ok:
+        raise RuntimeError(f"{app}/failover classic replay diverged")
+    rec: Dict[int, float] = {1: replay.recovery_time}
+    for k in (2, 3):
+        failover = run_failover_experiment(
+            make_app(app, **kwargs), config, replication=k, failed_node=3,
+        )
+        if not failover.ok:
+            raise RuntimeError(
+                f"{app}/failover k={k} diverged: {failover.mismatches[:3]}"
+            )
+        if "page_replay" in failover.breakdown:
+            raise RuntimeError(
+                f"{app}/failover k={k} replayed page contents"
+            )
+        rec[k] = failover.recovery_time
+
+    base = times[1]
+    return {
+        "oh_r2_pct": 100 * (times[2] / base - 1),
+        "oh_r3_pct": 100 * (times[3] / base - 1),
+        "stall_r2_ms": stall[2] * 1e3,
+        "stall_r3_ms": stall[3] * 1e3,
+        "rec_replay_ms": rec[1] * 1e3,
+        "rec_r2_ms": rec[2] * 1e3,
+        "rec_r3_ms": rec[3] * 1e3,
+        "speedup_r2": rec[1] / rec[2] if rec[2] else 0.0,
+    }
+
+
 #: name -> (title, variants builder, module-level measure function)
 ABLATIONS = {
     "disk": (
@@ -202,6 +284,12 @@ ABLATIONS = {
         _adaptive_variants,
         _measure_adaptive,
     ),
+    "replication": (
+        "A6: quorum replication factor vs overhead and replay-free "
+        "failover recovery (overheads vs k=1)",
+        _replication_variants,
+        _measure_replication,
+    ),
 }
 
 
@@ -217,3 +305,32 @@ def run_ablation(
         ) from None
     points = sweep(variants_fn(config), measure, jobs=jobs)
     return render_sweep(title, points), points
+
+
+def append_ablation_history(
+    which: str,
+    points: List[SweepPoint],
+    path: str = "benchmark_results/history.jsonl",
+) -> Dict[str, Any]:
+    """Append one compact ablation entry to the trajectory file.
+
+    The perf gate baselines each metric family against the most recent
+    entry that carries it, so an ``ablation`` entry (which carries
+    none of the perf families) rides along without disturbing it.
+    """
+    from ..obs.artifacts import git_rev
+
+    entry: Dict[str, Any] = {
+        "schema": 1,
+        "kind": "ablation",
+        "which": which,
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": git_rev(),
+        "points": {p.label: dict(p.metrics) for p in points},
+    }
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry

@@ -18,9 +18,13 @@ See :mod:`repro.core.chaos` for the verification model.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 from ..apps import make_app
 from ..config import ClusterConfig
 from ..core.chaos import ChaosReport, run_chaos_run, run_chaos_suite
+from ..core.replication import ZoneFaultSpec, validate_replication
+from ..errors import ConfigError
 from ..obs.console import get_console
 from .scales import app_kwargs
 
@@ -72,6 +76,41 @@ def _disk_extra(args) -> str:
     return " ".join(parts)
 
 
+def _parse_zone_partition(value: Optional[str]) -> Optional[Tuple[int, int]]:
+    """``"A,B"`` -> ``(A, B)``, with a one-line diagnosis on bad input."""
+    if value is None:
+        return None
+    try:
+        a, b = (int(part) for part in value.split(","))
+    except ValueError:
+        raise ConfigError(
+            f"--zone-partition wants two zone ids 'A,B', got {value!r}"
+        ) from None
+    return (a, b)
+
+
+def _zone_config(args) -> Tuple[ClusterConfig, Optional[Tuple[int, int]]]:
+    """Build the (possibly zoned) cluster config and fail fast on
+    impossible replication factors or unknown zones -- before any
+    simulation runs."""
+    config = ClusterConfig.ultra5(num_nodes=args.nodes)
+    if args.zones is not None:
+        config = config.with_zones(args.zones, wan_latency_s=args.zone_wan)
+    elif args.zone_wan:
+        raise ConfigError("--zone-wan needs --zones (one zone has no WAN)")
+    zone_partition = _parse_zone_partition(args.zone_partition)
+    validate_replication(args.replication, config.num_nodes)
+    ZoneFaultSpec(
+        zone_kill=args.zone_kill, zone_partition=zone_partition
+    ).validate(config)
+    if "failover" in args.protocols and args.replication < 2:
+        raise ConfigError(
+            "the failover protocol promotes a surviving replica, so it "
+            f"needs --replication >= 2 (got {args.replication})"
+        )
+    return config, zone_partition
+
+
 def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
     """Re-run up to MAX_FAILURE_BUNDLES failing cases traced and dump
     one telemetry bundle per case next to its repro command."""
@@ -104,6 +143,9 @@ def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
                 rates=_rates(args),
                 disk_rates=_disk_rates(args),
                 tracer=tracer,
+                replication=args.replication,
+                zone_kill=args.zone_kill,
+                zone_partition=_parse_zone_partition(args.zone_partition),
             )
         except Exception as exc:  # the failure itself may raise
             con.info(f"traced re-run of seed {case.seed} raised: {exc!r}")
@@ -131,7 +173,11 @@ def _dump_failure_bundles(report: ChaosReport, factories, config, args) -> None:
 
 def run_chaos(args) -> int:
     con = get_console()
-    config = ClusterConfig.ultra5(num_nodes=args.nodes)
+    try:
+        config, zone_partition = _zone_config(args)
+    except ConfigError as exc:
+        con.result(f"chaos: {exc}")
+        return 2
     apps = args.apps if args.apps_given else list(DEFAULT_CHAOS_APPS)
     factories = _factories(apps, args.scale)
     repro_extra = f"--scale {args.scale} --nodes {args.nodes}"
@@ -157,6 +203,9 @@ def run_chaos(args) -> int:
                     disk_rates=_disk_rates(args),
                     sanitize=args.sanitize,
                     repro_extra=repro_extra,
+                    replication=args.replication,
+                    zone_kill=args.zone_kill,
+                    zone_partition=zone_partition,
                 )
                 report.cases.extend(run_cases)
                 report.merge_totals(plan, transport)
@@ -174,6 +223,9 @@ def run_chaos(args) -> int:
             sanitize=args.sanitize,
             fail_fast=args.fail_fast,
             repro_extra=repro_extra,
+            replication=args.replication,
+            zone_kill=args.zone_kill,
+            zone_partition=zone_partition,
         )
     con.result(report.render())
     if report.failures and not args.no_artifacts:

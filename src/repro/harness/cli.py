@@ -11,6 +11,8 @@ Regenerates the paper's evaluation from the terminal::
     python -m repro perf   [--out BENCH_perf.json] [--target]
     python -m repro analyze [trace.jsonl | --apps lu --protocol ccl]
     python -m repro chaos  [--seeds 13] [--crash-points 5] [--seed N ...]
+                           [--replication K] [--zones N] [--zone-kill Z]
+                           [--zone-partition A,B] [--zone-wan S]
     python -m repro modelcheck [--program lock] [--nodes 2] [--pages 1]
     python -m repro timeline [runs/<id> | trace.jsonl]
     python -m repro critical-path [runs/<id> | trace.jsonl]
@@ -115,7 +117,8 @@ def _parser() -> argparse.ArgumentParser:
                    help="fan independent simulations out over N processes "
                         "(default: serial; output is byte-identical)")
     p.add_argument("--which", default="disk",
-                   choices=["disk", "pagesize", "logsize", "adaptive"],
+                   choices=["disk", "pagesize", "logsize", "adaptive",
+                            "replication"],
                    help="ablation: which sweep to run")
     p.add_argument("--repeat", type=int, default=5,
                    help="perf: timing repetitions per kernel (best-of)")
@@ -193,6 +196,29 @@ def _parser() -> argparse.ArgumentParser:
                             "faulted trace")
     chaos.add_argument("--fail-fast", action="store_true",
                        help="stop at the first failing case")
+    chaos.add_argument("--replication", type=int, default=1, metavar="K",
+                       help="home replication factor: mirror every home's "
+                            "sealed state onto K-1 followers with "
+                            "quorum-acked writes (1 = off, byte-identical "
+                            "to the unreplicated run; the failover "
+                            "protocol needs K >= 2)")
+    chaos.add_argument("--zones", type=int, default=None, metavar="N",
+                       help="spread the cluster round-robin over N fault "
+                            "domains (required by --zone-kill / "
+                            "--zone-partition; replica placement becomes "
+                            "zone-aware)")
+    chaos.add_argument("--zone-wan", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="extra one-way latency for every message "
+                            "crossing a zone boundary")
+    chaos.add_argument("--zone-kill", type=int, default=None, metavar="Z",
+                       help="chaos: live-kill every node of zone Z at a "
+                            "seeded instant and verify each victim's "
+                            "recovery with its co-victims dead")
+    chaos.add_argument("--zone-partition", default=None, metavar="A,B",
+                       help="chaos: partition zones A and B from each "
+                            "other for a seeded window mid-run (the "
+                            "reliable transport must ride it out)")
     mc = p.add_argument_group(
         "modelcheck", "small-scope exhaustive schedule/crash exploration"
     )
@@ -306,10 +332,13 @@ def _dispatch(args, con) -> int:
         con.result("")
 
     if args.command == "ablation":
-        from .ablations import run_ablation
+        from .ablations import append_ablation_history, run_ablation
 
-        text, _points = run_ablation(args.which, config, jobs=args.jobs)
+        text, points = run_ablation(args.which, config, jobs=args.jobs)
         con.result(text)
+        entry = append_ablation_history(args.which, points, args.history)
+        con.info(f"ablation history appended to {args.history} "
+                 f"(rev {entry['git_rev']})")
         return 0
 
     if args.command == "perf":

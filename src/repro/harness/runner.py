@@ -51,6 +51,7 @@ def run_application(
     verify: bool = True,
     paper_mode: bool = False,
     recovery_budget: Optional[float] = None,
+    replication: int = 1,
     **app_overrides,
 ) -> Tuple[RunResult, DsmSystem]:
     """Run one application once; optionally verify its numerics.
@@ -72,6 +73,7 @@ def run_application(
         app, config,
         _hooks_factory(protocol, paper_mode, recovery_budget=recovery_budget),
         protocol_name=protocol,
+        replication=replication,
     )
     result = system.run()
     if verify and not app.verify(system):

@@ -238,6 +238,39 @@ class MetricsRegistry:
                                 help_text="disk op latency (queueing + "
                                           "service) by kind",
                                 kind=kind, disk=disk.get("name", "disk"))
+        if getattr(result, "replication", 1) > 1:
+            # quorum-replicated homes: promotion counts and the latency
+            # from mirror send to quorum ack, per primary
+            for stats in getattr(result, "replication_stats", None) or []:
+                node = stats.get("node")
+                reg.counter("repro_replication_failovers_total",
+                            stats.get("failovers", 0),
+                            help_text="replica promotions applied onto "
+                                      "this node (it became a primary)",
+                            node=node)
+                reg.counter("repro_replication_mirror_bytes_total",
+                            stats.get("mirror_bytes", 0),
+                            help_text="wire bytes of sealed home-state "
+                                      "mirrors pushed to followers",
+                            node=node)
+                for wait in stats.get("quorum_waits", ()):
+                    reg.observe("repro_replication_quorum_latency_seconds",
+                                wait,
+                                help_text="mirror send to quorum ack, one "
+                                          "observation per sealed interval",
+                                node=node)
+        zones = getattr(result, "zones", None)
+        if zones is not None:
+            dead = set(getattr(result, "dead_nodes", ()) or ())
+            for zone in sorted(set(zones)):
+                alive = any(
+                    n not in dead
+                    for n, z in enumerate(zones) if z == zone
+                )
+                reg.gauge("repro_zone_alive", 1.0 if alive else 0.0,
+                          help_text="1 when at least one node in the fault "
+                                    "domain survived the run",
+                          zone=zone)
         if tracer is not None:
             reg.gauge("repro_trace_events", len(tracer.events),
                       help_text="recorded point events")

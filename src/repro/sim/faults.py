@@ -93,6 +93,10 @@ class FaultPlan:
         self.links = dict(links or {})
         self.kinds = dict(kinds or {})
         self.kills = dict(kills or {})
+        #: Zone-partition windows: ``(side_a, side_b, start, until)``
+        #: frozensets of node ranks; frames crossing between the sides
+        #: inside the window are discarded (both directions).
+        self.partitions: List[Tuple[frozenset, frozenset, float, float]] = []
         self._rng = random.Random(seed)
         #: Fault bookkeeping, reported by the chaos harness.
         self.dropped = 0
@@ -100,6 +104,7 @@ class FaultPlan:
         self.delayed = 0
         self.reordered = 0
         self.dead_discards = 0
+        self.partition_discards = 0
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -133,13 +138,42 @@ class FaultPlan:
         self.kills[node] = at_time
         return self
 
+    def kill_zone(self, nodes, at_time: float) -> "FaultPlan":
+        """Schedule a live kill of a whole fault domain at one instant."""
+        nodes = tuple(nodes)
+        if not nodes:
+            raise SimulationError("kill_zone needs at least one node")
+        for node in nodes:
+            self.kill(node, at_time)
+        return self
+
+    def partition(self, side_a, side_b, start: float,
+                  until: float = float("inf")) -> "FaultPlan":
+        """Partition ``side_a`` from ``side_b`` during ``[start, until)``.
+
+        Frames crossing between the two sides inside the window are
+        discarded in both directions; traffic within a side is
+        untouched.  The partition heals at ``until`` (default: never).
+        """
+        a, b = frozenset(side_a), frozenset(side_b)
+        if not a or not b:
+            raise SimulationError("partition sides must be non-empty")
+        if a & b:
+            raise SimulationError(
+                f"partition sides overlap: {sorted(a & b)}"
+            )
+        if start < 0 or until <= start:
+            raise SimulationError(f"bad partition window [{start}, {until})")
+        self.partitions.append((a, b, start, until))
+        return self
+
     # ------------------------------------------------------------------
     # queries (called by the network in event order)
     # ------------------------------------------------------------------
     @property
     def active(self) -> bool:
         """Whether the network must consult this plan at all."""
-        if self.kills:
+        if self.kills or self.partitions:
             return True
         if not self.default.quiet:
             return True
@@ -198,6 +232,17 @@ class FaultPlan:
         t_dst = self.kills.get(dst)
         return t_dst is not None and at_time >= t_dst
 
+    def partitioned(self, src: int, dst: int, at_time: float) -> bool:
+        """Whether a delivery at ``at_time`` crosses an open partition."""
+        for side_a, side_b, start, until in self.partitions:
+            if not (start <= at_time < until):
+                continue
+            if (src in side_a and dst in side_b) or (
+                src in side_b and dst in side_a
+            ):
+                return True
+        return False
+
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, int]:
         """Injected-fault counts for reports and tests."""
@@ -207,6 +252,7 @@ class FaultPlan:
             "delayed": self.delayed,
             "reordered": self.reordered,
             "dead_discards": self.dead_discards,
+            "partition_discards": self.partition_discards,
         }
 
     def describe(self) -> str:
@@ -217,6 +263,10 @@ class FaultPlan:
         if self.kills:
             parts.append("kills=" + ",".join(
                 f"{n}@{t:g}" for n, t in sorted(self.kills.items())))
+        if self.partitions:
+            parts.append("partitions=" + ";".join(
+                f"{sorted(a)}|{sorted(b)}@[{t0:g},{t1:g})"
+                for a, b, t0, t1 in self.partitions))
         return " ".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

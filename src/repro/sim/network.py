@@ -133,13 +133,17 @@ class _Hop:
     NIC-finish time) so event ordering is unchanged.
     """
 
-    __slots__ = ("net", "msg", "signal", "hopped")
+    __slots__ = ("net", "msg", "signal", "hopped", "extra")
 
-    def __init__(self, net: "Network", msg: NetMessage, signal: Signal):
+    def __init__(self, net: "Network", msg: NetMessage, signal: Signal,
+                 extra: float):
         self.net = net
         self.msg = msg
         self.signal = signal
         self.hopped = False
+        # wire latency + receiver overhead (+ the WAN surcharge when the
+        # link crosses a zone boundary); fixed at post time
+        self.extra = extra
 
     def __call__(self) -> None:
         net = self.net
@@ -147,7 +151,7 @@ class _Hop:
             net._deliver(self.msg, self.signal)
         else:
             self.hopped = True
-            net.sim.schedule(net._extra, self)
+            net.sim.schedule(self.extra, self)
 
 
 class Network:
@@ -167,9 +171,16 @@ class Network:
         config: NetworkConfig,
         num_nodes: int,
         fault_plan: Optional[FaultPlan] = None,
+        zones: Optional[List[int]] = None,
+        wan_latency_s: float = 0.0,
     ):
         if num_nodes < 1:
             raise SimulationError("network needs at least one node")
+        if zones is not None and len(zones) != num_nodes:
+            raise SimulationError(
+                f"zones needs one label per node, got {len(zones)} for "
+                f"{num_nodes} nodes"
+            )
         self.sim = sim
         self.config = config
         self.num_nodes = num_nodes
@@ -194,6 +205,19 @@ class Network:
         # would differ in the last ulp and break byte-identity goldens).
         self._extra = config.latency_s + config.recv_overhead_s
         self._bw = config.bandwidth_bps
+        # Per-zone WAN profile: a cross-zone hop pays wan_latency_s on
+        # top of the LAN constants.  ``None`` (no zones, or a zero WAN
+        # surcharge) keeps the scalar path bit-identical to pre-zone
+        # behaviour.
+        self._zone_extra: Optional[List[List[float]]] = None
+        if zones is not None and wan_latency_s > 0.0:
+            self._zone_extra = [
+                [
+                    self._extra + (wan_latency_s if zones[s] != zones[d] else 0.0)
+                    for d in range(num_nodes)
+                ]
+                for s in range(num_nodes)
+            ]
         #: Per-(src, dst) post counters backing ``DeliveryLabel.link_seq``
         #: in controlled-scheduler runs; untouched on the normal path.
         self._link_seq: Dict[tuple, int] = {}
@@ -241,6 +265,9 @@ class Network:
             msg.obs_eid = tracer.edge_send(
                 self.sim.now, src, msg.dst, kind, wire)
 
+        ze = self._zone_extra
+        extra = self._extra if ze is None else ze[src][msg.dst]
+
         sim = self.sim
         if not self._faulty and sim.choice_fn is None:
             # Fast path: arithmetic NIC reservation (same stats updates
@@ -256,12 +283,11 @@ class Network:
             nic.busy_time += service
             nic.num_requests += 1
             delivered = Signal("net.delivered")
-            sim.schedule(finish - now, _Hop(self, msg, delivered))
+            sim.schedule(finish - now, _Hop(self, msg, delivered, extra))
             return delivered
 
         tx_done = self._nics[src].request(self.config.transfer_time(wire))
         delivered = Signal(f"net.{kind}.{src}->{msg.dst}")
-        extra = self._extra
 
         if not self._faulty:
             # Controlled scheduler (model checker): every delivery is a
@@ -290,8 +316,14 @@ class Network:
                 for fault_delay in copies:
 
                     def deliver(d: float = fault_delay) -> None:
-                        if plan.struck_dead(msg.src, msg.dst, self.sim.now):
+                        now = self.sim.now
+                        if plan.struck_dead(msg.src, msg.dst, now):
                             plan.dead_discards += 1
+                            return
+                        if plan.partitions and plan.partitioned(
+                            msg.src, msg.dst, now
+                        ):
+                            plan.partition_discards += 1
                             return
                         self._deliver(msg, delivered)
 

@@ -227,3 +227,76 @@ class TestLiveKillDetection:
         latency = det.suspected[2] - kill_at
         assert 0 < latency < 8 * period
         assert det.on_failure.triggered
+
+
+class TestZoneChaos:
+    """Zone-scoped chaos: whole-domain kills against replicated homes
+    (failover and classic replay) and partition ride-out."""
+
+    def _zoned(self, small_cluster):
+        return small_cluster.with_zones(2)
+
+    def test_zone_kill_under_failover_is_bit_exact(self, small_cluster):
+        config = self._zoned(small_cluster)
+        cases, plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=3), config, "failover", seed=5,
+            crash_points=2, replication=2, zone_kill=1,
+        )
+        assert cases, "zone kill produced no cases"
+        assert all(c.ok for c in cases), [c.detail for c in cases if not c.ok]
+        # every node of zone 1 was a victim at every probed instant
+        victims = {c.crash_node for c in cases}
+        assert victims == set(config.nodes_in_zone(1))
+        assert plan.summary()["dead_discards"] > 0
+
+    def test_zone_kill_under_classic_replay_is_bit_exact(self, small_cluster):
+        config = self._zoned(small_cluster)
+        cases, _plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=3), config, "ccl", seed=5,
+            crash_points=2, replication=2, zone_kill=0,
+        )
+        assert cases and all(c.ok for c in cases), [
+            c.detail for c in cases if not c.ok
+        ]
+        assert {c.crash_node for c in cases} == set(config.nodes_in_zone(0))
+
+    def test_zone_partition_rides_out_to_completion(self, small_cluster):
+        config = self._zoned(small_cluster)
+        cases, plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=3), config, "ccl", seed=9,
+            crash_points=2, zone_partition=(0, 1),
+        )
+        assert cases and all(c.ok for c in cases), [
+            c.detail for c in cases if not c.ok
+        ]
+        assert plan.summary()["partition_discards"] > 0
+
+    def test_failover_without_replication_is_config_error(self, small_cluster):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="replication >= 2"):
+            run_chaos_run(
+                lambda: BarrierApp(iters=2), self._zoned(small_cluster),
+                "failover", seed=1, replication=1,
+            )
+
+    def test_unknown_zone_is_config_error(self, small_cluster):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown zone"):
+            run_chaos_run(
+                lambda: BarrierApp(iters=2), self._zoned(small_cluster),
+                "ccl", seed=1, zone_kill=7,
+            )
+
+    def test_repro_command_carries_zone_flags(self, small_cluster):
+        config = self._zoned(small_cluster)
+        cases, _plan, _tr = run_chaos_run(
+            lambda: BarrierApp(iters=2), config, "failover", seed=3,
+            crash_points=1, replication=2, zone_kill=1,
+        )
+        for c in cases:
+            cmd = c.repro_command()
+            assert "--replication 2" in cmd
+            assert "--zones 2" in cmd
+            assert "--zone-kill 1" in cmd

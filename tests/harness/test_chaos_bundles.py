@@ -13,6 +13,8 @@ def _args(tmp_path) -> argparse.Namespace:
     return argparse.Namespace(
         drop=0.08, dup=0.08, delay_rate=0.12, reorder=0.12,
         disk_torn=0.0, disk_write_error=0.0, disk_bitrot=0.0,
+        replication=1, zones=None, zone_wan=0.0,
+        zone_kill=None, zone_partition=None,
         runs_dir=str(tmp_path),
     )
 

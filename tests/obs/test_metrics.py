@@ -122,3 +122,59 @@ class TestSnapshotAndFromRun:
         assert fam["type"] == "histogram"
         assert fam["buckets"] == list(DEFAULT_BUCKETS)
         assert all("labels" in s and "value" in s for s in fam["samples"])
+
+
+class TestReplicationAndZoneFamilies:
+    """Quorum-replication and fault-domain families (gated on use)."""
+
+    @pytest.fixture(scope="class")
+    def replicated_run(self):
+        config = ClusterConfig.ultra5(num_nodes=4).with_zones(2)
+        result, _system = run_application(
+            "sor", "failover", config, "test", verify=False, replication=2,
+        )
+        return result
+
+    def test_plain_run_emits_no_replication_families(self):
+        config = ClusterConfig.ultra5(num_nodes=4)
+        result, _system = run_application("sor", "ccl", config, "test")
+        text = MetricsRegistry.from_run(result).render_prometheus()
+        assert "repro_replication_" not in text
+        assert "repro_zone_alive" not in text
+
+    def test_failover_counter_matches_replicator_stats(self, replicated_run):
+        reg = MetricsRegistry.from_run(replicated_run)
+        for stats in replicated_run.replication_stats:
+            assert reg.get("repro_replication_failovers_total",
+                           node=stats["node"]) == stats["failovers"]
+            assert reg.get("repro_replication_mirror_bytes_total",
+                           node=stats["node"]) == stats["mirror_bytes"]
+
+    def test_quorum_latency_histogram_counts_every_wait(self, replicated_run):
+        reg = MetricsRegistry.from_run(replicated_run)
+        for stats in replicated_run.replication_stats:
+            waits = stats["quorum_waits"]
+            hist = reg.get("repro_replication_quorum_latency_seconds",
+                           node=stats["node"])
+            if not waits:
+                assert hist is None
+                continue
+            assert hist["count"] == len(waits)
+            assert hist["sum"] == pytest.approx(sum(waits))
+
+    def test_zone_alive_gauges_cover_every_fault_domain(self, replicated_run):
+        reg = MetricsRegistry.from_run(replicated_run)
+        # failure-free run: every zone keeps all its nodes
+        for zone in sorted(set(replicated_run.zones)):
+            assert reg.get("repro_zone_alive", zone=zone) == 1.0
+
+    def test_zone_alive_drops_when_fault_domain_is_wiped(self, replicated_run):
+        import copy
+
+        result = copy.copy(replicated_run)
+        result.dead_nodes = [
+            n for n, z in enumerate(result.zones) if z == 1
+        ]
+        reg = MetricsRegistry.from_run(result)
+        assert reg.get("repro_zone_alive", zone=0) == 1.0
+        assert reg.get("repro_zone_alive", zone=1) == 0.0

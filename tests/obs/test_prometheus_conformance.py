@@ -102,3 +102,78 @@ def test_golden_exposition_snapshot():
     """
     assert GOLDEN.exists(), f"golden snapshot missing: {GOLDEN}"
     assert _registry().render_prometheus() == GOLDEN.read_text()
+
+
+GOLDEN_REPLICATION = Path(__file__).parent / "golden_replication_exposition.txt"
+
+REPLICATION_FAMILIES = (
+    "repro_replication_failovers_total",
+    "repro_replication_mirror_bytes_total",
+    "repro_replication_quorum_latency_seconds",
+    "repro_zone_alive",
+)
+
+
+def _replication_exposition() -> str:
+    """The replication/zone family lines of one deterministic run."""
+    from repro.config import ClusterConfig
+    from repro.harness.runner import run_application
+
+    config = ClusterConfig.ultra5(num_nodes=4).with_zones(2)
+    result, _system = run_application(
+        "sor", "failover", config, "test", verify=False, replication=2,
+    )
+    text = MetricsRegistry.from_run(result).render_prometheus()
+    keep = [
+        line for line in text.splitlines()
+        if any(line.startswith(f"# HELP {fam}")
+               or line.startswith(f"# TYPE {fam}")
+               or line.startswith(fam)
+               for fam in REPLICATION_FAMILIES)
+    ]
+    return "\n".join(keep) + "\n"
+
+
+def test_replication_families_are_well_formed():
+    for name, labels, _value in _parse_samples(_replication_exposition()):
+        assert name.startswith("repro_replication_") or name.startswith(
+            "repro_zone_"
+        )
+        if labels:
+            assert re.fullmatch(
+                r'\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)+\}', labels
+            ), f"malformed label set: {labels!r}"
+
+
+def test_replication_quorum_histogram_invariants():
+    samples = _parse_samples(_replication_exposition())
+    name = "repro_replication_quorum_latency_seconds"
+    by_node = {}
+    for n, lbl, v in samples:
+        if n == f"{name}_bucket":
+            node = lbl.split('node="', 1)[1].split('"', 1)[0]
+            by_node.setdefault(node, []).append((lbl, v))
+    assert by_node, "replicated run emitted no quorum latency series"
+    for node, buckets in by_node.items():
+        assert buckets[-1][0].endswith('le="+Inf"}')
+        counts = [v for _lbl, v in buckets]
+        assert counts == sorted(counts), (
+            f"node {node} buckets must be cumulative"
+        )
+        count = next(v for n, lbl, v in samples
+                     if n == f"{name}_count" and f'node="{node}"' in lbl)
+        assert counts[-1] == count > 0
+
+
+def test_replication_golden_snapshot():
+    """Pin the replication/zone exposition; regenerate deliberately:
+
+    PYTHONPATH=src python -c "
+    from tests.obs.test_prometheus_conformance import (
+        _replication_exposition, GOLDEN_REPLICATION)
+    GOLDEN_REPLICATION.write_text(_replication_exposition())"
+    """
+    assert GOLDEN_REPLICATION.exists(), (
+        f"golden snapshot missing: {GOLDEN_REPLICATION}"
+    )
+    assert _replication_exposition() == GOLDEN_REPLICATION.read_text()
